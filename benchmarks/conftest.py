@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark suite.
+
+Every experiment benchmark regenerates one of the paper's tables/studies at a
+dataset scale controlled by the ``QFE_BENCH_SCALE`` environment variable
+(default 0.06 — minutes, not hours, on a laptop; set it to 1.0 to run at the
+paper's full row counts). Heavy benchmarks run a single round via
+``benchmark.pedantic`` — the interesting output is the regenerated table
+itself, which is attached to the benchmark's ``extra_info`` and printed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("QFE_BENCH_SCALE", "0.06"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run *function* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def attach_table(benchmark, tables) -> None:
+    """Record rendered tables in the benchmark's extra info and print them."""
+    from repro.experiments.report import ExperimentTable, render_tables
+
+    if isinstance(tables, ExperimentTable):
+        tables = [tables]
+    text = render_tables(list(tables))
+    benchmark.extra_info["table"] = text
+    print("\n" + text)

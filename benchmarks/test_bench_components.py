@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the core components (repeatable, statistics-friendly).
+
+These complement the one-shot table regenerations: they measure the steady
+per-call cost of the pieces that dominate QFE's runtime — the foreign-key
+join, candidate evaluation over a joined relation, ``minEdit``, Algorithm 3's
+pair enumeration and Algorithm 4's subset selection — so regressions in the
+substrate show up even without rerunning the full experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import QFEConfig
+from repro.core.modification import PairSetSimulator
+from repro.core.skyline import skyline_stc_dtc_pairs
+from repro.core.subset_selection import pick_stc_dtc_subset
+from repro.core.tuple_class import TupleClassSpace
+from repro.experiments.runner import prepare_candidates
+from repro.qbo.config import QBOConfig
+from repro.qbo.generator import QueryGenerator
+from repro.relational.edit import min_edit_relation
+from repro.relational.evaluator import evaluate, evaluate_on_join
+from repro.relational.join import full_join
+from repro.workloads import build_pair
+
+_QBO = QBOConfig(threshold_variants=2, max_terms_per_conjunct=3, max_candidates=25)
+
+
+@pytest.fixture(scope="module")
+def scientific_setup(bench_scale):
+    database, result, target = build_pair("Q2", min(bench_scale, 0.12))
+    candidates, _ = prepare_candidates(database, result, target, qbo_config=_QBO)
+    joined = full_join(database)
+    space = TupleClassSpace(joined, candidates)
+    return database, result, target, candidates, joined, space
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_full_join(benchmark, scientific_setup):
+    database = scientific_setup[0]
+    joined = benchmark(full_join, database)
+    assert len(joined) > 0
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_candidate_evaluation_on_join(benchmark, scientific_setup):
+    database, result, _, candidates, joined, _ = scientific_setup
+    query = candidates[0]
+    evaluated = benchmark(evaluate_on_join, query, joined, database)
+    assert evaluated.bag_equal(result)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_query_generation(benchmark, scientific_setup):
+    database, result = scientific_setup[0], scientific_setup[1]
+    generator = QueryGenerator(_QBO)
+    candidates = benchmark(generator.generate, database, result)
+    assert candidates
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_min_edit_on_modified_relation(benchmark, scientific_setup):
+    database = scientific_setup[0]
+    relation = database.relation(database.table_names[0])
+    modified = relation.copy()
+    first = modified.tuples[0]
+    modified.update_value(first.tuple_id, modified.schema.attribute_names[-1], "changed")
+    cost = benchmark(min_edit_relation, relation, modified)
+    assert cost == 1
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_skyline_enumeration(benchmark, scientific_setup):
+    _, result, _, _, _, space = scientific_setup
+    config = QFEConfig(delta_seconds=0.25)
+
+    def run():
+        return skyline_stc_dtc_pairs(space, config, result_arity=result.schema.arity)
+
+    skyline = benchmark(run)
+    assert skyline.pair_count >= 1
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_subset_selection(benchmark, scientific_setup):
+    _, result, _, _, _, space = scientific_setup
+    config = QFEConfig(delta_seconds=0.25)
+    simulator = PairSetSimulator(space, result_arity=result.schema.arity)
+    skyline = skyline_stc_dtc_pairs(
+        space, config, result_arity=result.schema.arity, simulator=simulator
+    )
+
+    def run():
+        return pick_stc_dtc_subset(
+            space, skyline.pairs, config,
+            result_arity=result.schema.arity,
+            most_balanced_binary_x=skyline.most_balanced_binary_x,
+            simulator=simulator,
+        )
+
+    selection = benchmark(run)
+    assert selection.found
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_end_to_end_evaluation(benchmark, scientific_setup):
+    database, result, target = scientific_setup[0], scientific_setup[1], scientific_setup[2]
+    evaluated = benchmark(evaluate, target, database)
+    assert evaluated.bag_equal(result)

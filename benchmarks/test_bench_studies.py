@@ -1,0 +1,124 @@
+"""Benchmarks for the Section 7.7 studies and the DESIGN.md ablations."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table, run_once
+from repro.core.config import IterationEstimator, QFEConfig
+from repro.experiments import studies
+from repro.experiments.report import ExperimentTable
+from repro.experiments.runner import prepare_candidates, run_session
+from repro.qbo.config import QBOConfig
+from repro.workloads import build_pair
+
+_QBO = QBOConfig(threshold_variants=2, max_terms_per_conjunct=3, max_candidates=40)
+
+
+@pytest.mark.benchmark(group="section-7-7")
+def test_bench_initial_pair_size_study(benchmark, bench_scale):
+    result = run_once(benchmark, studies.initial_pair_size_study, bench_scale)
+    attach_table(benchmark, result)
+    assert len(result.rows) == 4
+
+
+@pytest.mark.benchmark(group="section-7-7")
+def test_bench_entropy_study(benchmark, bench_scale):
+    result = run_once(benchmark, studies.entropy_study, bench_scale)
+    attach_table(benchmark, result)
+    distinct = result.column("# distinct values")
+    assert distinct == sorted(distinct, reverse=True)
+
+
+@pytest.mark.benchmark(group="section-7-7")
+def test_bench_user_study(benchmark, bench_scale):
+    result = run_once(benchmark, studies.user_study, min(bench_scale, 0.1))
+    attach_table(benchmark, result)
+    rows = result.as_dicts()
+    assert all(row["Identified"] for row in rows)
+    qfe_time = sum(r["Total time (s)"] for r in rows if r["Approach"] == "QFE")
+    alternative_time = sum(r["Total time (s)"] for r in rows if r["Approach"] == "max-subsets")
+    # paper shape: the QFE cost model does not lose on total user+machine time
+    assert qfe_time <= alternative_time * 1.15
+
+
+# --------------------------------------------------------------------- ablations
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_iteration_estimator(benchmark, bench_scale):
+    """Naive Eq. (6) vs refined Eq. (7)-(9) estimator, same workload."""
+
+    def run_both():
+        database, result, target = build_pair("Q2", bench_scale)
+        candidates, _ = prepare_candidates(database, result, target, qbo_config=_QBO)
+        table = ExperimentTable(
+            "Ablation: iteration estimator (Q2, worst-case feedback)",
+            ["Estimator", "# of iterations", "Modification cost"],
+        )
+        for estimator in (IterationEstimator.NAIVE, IterationEstimator.REFINED):
+            run = run_session(
+                database, result, target, candidates=candidates,
+                config=QFEConfig(iteration_estimator=estimator), feedback="worst",
+            )
+            table.add_row(estimator.value, run.iteration_count,
+                          round(run.total_modification_cost, 1))
+        return table
+
+    table = run_once(benchmark, run_both)
+    attach_table(benchmark, table)
+    iterations = table.column("# of iterations")
+    assert abs(iterations[0] - iterations[1]) <= 3
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_side_effect_preference(benchmark, bench_scale):
+    """Side-effect-aware materialization on vs off (baseball, 3-table join)."""
+
+    def run_both():
+        database, result, target = build_pair("Q5", bench_scale)
+        candidates, _ = prepare_candidates(database, result, target, qbo_config=_QBO)
+        table = ExperimentTable(
+            "Ablation: prefer side-effect-free modifications (Q5)",
+            ["prefer_no_side_effects", "# of iterations", "Modification cost"],
+        )
+        for preference in (True, False):
+            run = run_session(
+                database, result, target, candidates=candidates,
+                config=QFEConfig(prefer_no_side_effects=preference), feedback="worst",
+            )
+            table.add_row(preference, run.iteration_count, round(run.total_modification_cost, 1))
+        return table
+
+    table = run_once(benchmark, run_both)
+    attach_table(benchmark, table)
+    costs = table.column("Modification cost")
+    # preferring side-effect-free modifications never increases total user cost much
+    assert costs[0] <= costs[1] * 1.5 + 5
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_cost_model_vs_max_subsets(benchmark, bench_scale):
+    """QFE's Equation (5) objective vs the maximize-subsets baseline (Q3)."""
+    from repro.core.alternative_cost import max_partitions_score
+
+    def run_both():
+        database, result, target = build_pair("Q3", bench_scale)
+        candidates, _ = prepare_candidates(database, result, target, qbo_config=_QBO)
+        table = ExperimentTable(
+            "Ablation: database-generation objective (Q3, worst-case feedback)",
+            ["Objective", "# of iterations", "Modification cost"],
+        )
+        for label, score in (("QFE cost model", None), ("max-subsets", max_partitions_score)):
+            run = run_session(
+                database, result, target, candidates=candidates,
+                feedback="worst", score=score,
+            )
+            table.add_row(label, run.iteration_count, round(run.total_modification_cost, 1))
+        return table
+
+    table = run_once(benchmark, run_both)
+    attach_table(benchmark, table)
+    rows = table.as_dicts()
+    qfe_row = next(r for r in rows if r["Objective"] == "QFE cost model")
+    alt_row = next(r for r in rows if r["Objective"] == "max-subsets")
+    # paper shape: the alternative needs no more rounds, QFE pays no more user cost
+    assert alt_row["# of iterations"] <= qfe_row["# of iterations"] + 1

@@ -1,0 +1,96 @@
+"""Benchmarks regenerating every table of the paper's evaluation (Section 7).
+
+Each benchmark runs the corresponding experiment once at ``QFE_BENCH_SCALE``
+and prints the regenerated table so it can be compared side by side with the
+paper. EXPERIMENTS.md records the comparison for the default scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_table, run_once
+from repro.experiments import tables
+
+
+@pytest.mark.benchmark(group="paper-tables")
+def test_bench_table1_per_round_statistics(benchmark, bench_scale):
+    result = run_once(benchmark, tables.table1, bench_scale)
+    attach_table(benchmark, result)
+    assert len(result) == 2
+    for table in result:
+        counts = table.column("# of queries")
+        assert counts == sorted(counts, reverse=True)
+
+
+@pytest.mark.benchmark(group="paper-tables")
+def test_bench_table2_beta_sweep(benchmark, bench_scale):
+    result = run_once(benchmark, tables.table2, bench_scale)
+    attach_table(benchmark, result)
+    rows = result.as_dicts()
+    assert {row["Query"] for row in rows} == {"Q3", "Q4", "Q5", "Q6"}
+    # paper shape: β has at most a marginal effect for most workloads. At small
+    # dataset scales a single workload can show a larger spread (longer
+    # worst-case tails), so require the *majority* of workloads to be
+    # insensitive rather than every one.
+    spreads = []
+    for row in rows:
+        iteration_counts = [row[c] for c in result.columns if c.startswith("iters")]
+        assert all(count >= 0 for count in iteration_counts)
+        spreads.append(max(iteration_counts) - min(iteration_counts))
+    assert sum(1 for spread in spreads if spread <= 2) >= len(spreads) / 2
+
+
+@pytest.mark.benchmark(group="paper-tables")
+def test_bench_table3_delta_sweep(benchmark, bench_scale):
+    result = run_once(benchmark, tables.table3, bench_scale)
+    attach_table(benchmark, result)
+    for table in result:
+        assert all(i >= 1 for i in table.column("# of iterations"))
+
+
+@pytest.mark.benchmark(group="paper-tables")
+def test_bench_table4_algorithm4_per_iteration(benchmark, bench_scale):
+    result = run_once(benchmark, tables.table4, bench_scale)
+    attach_table(benchmark, result)
+    assert all(t >= 0 for t in result.column("Alg. 4 time (ms)"))
+
+
+@pytest.mark.benchmark(group="paper-tables")
+def test_bench_table5_algorithm4_scaling(benchmark, bench_scale):
+    result = run_once(benchmark, tables.table5, bench_scale, pair_counts=(25, 50, 100, 200))
+    attach_table(benchmark, result)
+    times = result.column("Exec. time (s)")
+    sizes = result.column("# of skyline pairs")
+    # paper shape: Algorithm 4's runtime grows with |SP| when |SP| actually
+    # grows (at small scales every requested size may truncate to the same
+    # skyline set, where only timing noise remains), and the chosen
+    # partitioning stays stable across sizes.
+    if sizes[-1] > sizes[0]:
+        assert times[-1] + 0.01 >= times[0]
+    assert len(set(result.column("chosen k"))) <= 2
+
+
+@pytest.mark.benchmark(group="paper-tables")
+def test_bench_table6_candidate_count_sweep(benchmark, bench_scale):
+    result = run_once(benchmark, tables.table6, bench_scale)
+    attach_table(benchmark, result)
+    iterations = result.column("# of iterations")
+    candidates = result.column("# of candidate queries")
+    assert candidates == sorted(candidates)
+    # paper shape: more candidates need at least as many iterations (tolerating
+    # one round of noise between adjacent sizes)
+    assert iterations[-1] + 1 >= iterations[0]
+
+
+@pytest.mark.benchmark(group="paper-tables")
+def test_bench_table7_first_iteration_breakdown(benchmark, bench_scale):
+    result = run_once(benchmark, tables.table7, bench_scale)
+    attach_table(benchmark, result)
+    rows = result.as_dicts()
+    # paper shape: across the sweep, Algorithm 4 never dominates the first
+    # iteration — skyline enumeration plus database modification account for
+    # the majority of the time.
+    alg4_total = sum(row["Algorithm 4"] for row in rows)
+    other_total = sum(row["Algorithm 3"] + row["Modify DB"] for row in rows)
+    assert alg4_total <= other_total

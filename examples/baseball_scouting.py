@@ -1,0 +1,63 @@
+"""Baseball-analytics scenario: three-table joins (paper Q5 and Q6).
+
+An analyst wants per-manager statistics for specific players, joining the
+Manager, Team and Batting tables — queries with joins, conjunctions and a
+disjunction (Q6). The analyst only confirms results; QFE does the SQL.
+
+This example also demonstrates the Section 6.2 extension: the candidate set
+mixes different join schemas, and QFE processes one join-schema group at a
+time (largest first).
+
+Run with::
+
+    python examples/baseball_scouting.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import OracleSelector, QFEConfig, QFESession
+from repro.core.extensions import group_by_join_schema, run_grouped_session
+from repro.experiments.runner import prepare_candidates
+from repro.qbo import QBOConfig
+from repro.sql.render import render_query
+from repro.workloads import build_pair
+
+
+def run(scale: float = 0.1) -> None:
+    qbo = QBOConfig(threshold_variants=2, max_terms_per_conjunct=3, max_candidates=30)
+    config = QFEConfig(delta_seconds=0.5)
+
+    for name in ("Q5", "Q6"):
+        database, result, target = build_pair(name, scale)
+        print(f"=== Workload {name} ===")
+        print("Target query:")
+        print(render_query(target, database.schema))
+        candidates, _ = prepare_candidates(database, result, target, qbo_config=qbo)
+        groups = group_by_join_schema(candidates)
+        print(f"{len(candidates)} candidates across {len(groups)} join-schema group(s): "
+              f"{[len(g) for g in groups]}")
+
+        outcome = run_grouped_session(
+            database, result, candidates,
+            selector_factory=lambda group: OracleSelector(target),
+            config=config,
+        )
+        print(f"groups processed: {outcome.groups_processed}, "
+              f"total feedback rounds: {outcome.total_iterations}")
+        if outcome.identified_query is not None:
+            print("identified query:")
+            print(render_query(outcome.identified_query, database.schema))
+        print()
+
+    # For comparison: a plain (single-group) session on Q5.
+    database, result, target = build_pair("Q5", scale)
+    candidates, _ = prepare_candidates(database, result, target, qbo_config=qbo)
+    session = QFESession(database, result, candidates=candidates, config=config)
+    outcome = session.run(OracleSelector(target))
+    print(f"Plain session on Q5: {outcome.iteration_count} rounds, converged={outcome.converged}")
+
+
+if __name__ == "__main__":
+    run(float(sys.argv[1]) if len(sys.argv) > 1 else 0.1)

@@ -1,0 +1,48 @@
+"""Quickstart: the paper's Example 1.1, end to end.
+
+A user wants ``SELECT name FROM Employee WHERE salary > 4000`` but cannot
+write SQL. She provides the Employee table and the result she expects (Bob
+and Darren). QFE generates candidate queries, then asks her to pick the
+correct result on slightly modified databases until a single query remains.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import OracleSelector, QFESession
+from repro.datasets import employee
+from repro.qbo import QBOConfig
+from repro.sql.render import render_query
+
+
+def main() -> None:
+    database, result, target = employee.example_pair()
+
+    print("The user's example database D:")
+    print(database.pretty())
+    print("\nThe user's example result R (the output of her intended query on D):")
+    print(result.pretty())
+
+    # The oracle selector plays the role of the user: it recognizes the result
+    # of the intended query on each modified database QFE presents.
+    session = QFESession(database, result, qbo_config=QBOConfig(threshold_variants=2))
+    outcome = session.run(OracleSelector(target))
+
+    print(f"\nQFE generated {outcome.initial_candidate_count} candidate queries "
+          f"and asked for feedback {outcome.iteration_count} time(s).\n")
+    for round_ in session.last_rounds:
+        print(round_.pretty())
+        print()
+
+    print("Identified query:")
+    print(render_query(outcome.identified_query, database.schema))
+    print(f"\nConverged: {outcome.converged}; total modification cost: "
+          f"{outcome.total_modification_cost:.0f}; "
+          f"machine time: {outcome.total_seconds:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so that editable installs work without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e . --no-use-pep517`` code path in offline environments
+where PEP 660 editable wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

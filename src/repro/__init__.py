@@ -1,0 +1,49 @@
+"""repro — a reproduction of "Query From Examples" (Li, Chan & Maier, VLDB 2015).
+
+The package implements the full QFE system: an in-memory relational engine
+(:mod:`repro.relational`), a SQL render/parse/cross-check layer
+(:mod:`repro.sql`), a QBO-style candidate query generator (:mod:`repro.qbo`),
+the QFE interaction loop and Database Generator (:mod:`repro.core`), the
+paper's datasets and workload queries (:mod:`repro.datasets`,
+:mod:`repro.workloads`) and the experiment harness regenerating every table
+of the paper's evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.core import QFESession, OracleSelector
+    from repro.datasets import employee
+
+    database, result, target = employee.example_pair()
+    session = QFESession(database, result)
+    outcome = session.run(OracleSelector(target))
+    print(outcome.identified_query)
+"""
+
+from repro.core import (
+    OracleSelector,
+    QFEConfig,
+    QFESession,
+    SessionResult,
+    WorstCaseSelector,
+)
+from repro.qbo import QBOConfig, QueryGenerator
+from repro.relational import Database, Relation, SPJQuery
+from repro.sql import parse_query, render_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QFESession",
+    "SessionResult",
+    "QFEConfig",
+    "OracleSelector",
+    "WorstCaseSelector",
+    "QueryGenerator",
+    "QBOConfig",
+    "Database",
+    "Relation",
+    "SPJQuery",
+    "parse_query",
+    "render_query",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""The alternative database-generation objective used in the user study.
+
+Section 7.7: "we compared it against an alternative cost model that aims to
+reduce both the size of query subsets as well as the number of iterations by
+choosing data modifications to maximize the number of partitioned query
+subsets". This module provides that objective as a scoring function for
+Algorithm 4: prefer modifications that split the surviving candidates into as
+many result-equivalence classes as possible, tie-breaking by smaller database
+edits.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_model import CostBreakdown
+from repro.core.modification import PairSetEffect
+
+__all__ = ["max_partitions_score"]
+
+
+def max_partitions_score(effect: PairSetEffect, cost: CostBreakdown) -> tuple:
+    """Score for the maximize-number-of-subsets baseline (lower is better).
+
+    Primary key: negative subset count (more subsets first). Ties are broken
+    by the size of the largest surviving subset (smaller is better), then by
+    the database edit cost, so among equally-splitting modifications the least
+    disruptive one is used.
+    """
+    largest = max(effect.group_sizes) if effect.group_sizes else 0
+    return (-effect.group_count, largest, effect.min_edit, cost.total)

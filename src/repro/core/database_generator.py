@@ -1,0 +1,169 @@
+"""Algorithm 2: the Database Generator module.
+
+Each QFE iteration calls :class:`DatabaseGenerator` with the original pair
+``(D, R)`` and the surviving candidate queries ``QC'``. The generator:
+
+1. materializes the full foreign-key join ``T`` of ``D`` and builds the
+   tuple-class space of ``T`` relative to ``QC'`` (Section 5.1);
+2. enumerates skyline (STC, DTC) pairs with Algorithm 3, bounded by the time
+   threshold ``δ``;
+3. selects a low-cost subset of pairs with Algorithm 4 under the Section 3
+   cost model (or an alternative objective for the user-study baseline);
+4. materializes the selected pairs into a concrete modified database ``D'``,
+   preferring side-effect-free, constraint-preserving changes;
+5. verifies by exact evaluation that ``D'`` actually distinguishes the
+   candidates, retrying with the next-best pair subsets when the heuristic
+   abstraction and the concrete data disagree.
+
+The result carries everything the experiment harness reports per iteration
+(skyline pair count, timings of the three steps, modification costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Sequence
+
+from repro.core.config import QFEConfig
+from repro.core.cost_model import CostBreakdown
+from repro.core.materialize import MaterializationResult, materialize_pairs
+from repro.core.modification import ClassPair, PairSetSimulator
+from repro.core.partitioner import QueryPartition, partition_queries
+from repro.core.skyline import SkylineResult, skyline_stc_dtc_pairs
+from repro.core.subset_selection import ScoreFunction, SubsetSelectionResult, pick_stc_dtc_subset
+from repro.core.tuple_class import TupleClassSpace
+from repro.exceptions import DatabaseGenerationError
+from repro.relational.database import Database
+from repro.relational.join import foreign_key_join
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+__all__ = ["DatabaseGenerationResult", "DatabaseGenerator"]
+
+
+@dataclass
+class DatabaseGenerationResult:
+    """The modified database of one iteration plus all per-step diagnostics."""
+
+    database: Database
+    partition: QueryPartition
+    materialization: MaterializationResult
+    skyline: SkylineResult
+    selection: SubsetSelectionResult
+    chosen_pairs: tuple[ClassPair, ...]
+    chosen_cost: CostBreakdown | None
+    skyline_seconds: float
+    selection_seconds: float
+    materialize_seconds: float
+    fallback_attempts: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Combined Database Generator time for the iteration."""
+        return self.skyline_seconds + self.selection_seconds + self.materialize_seconds
+
+
+class DatabaseGenerator:
+    """Generate a distinguishing modified database for the surviving candidates."""
+
+    def __init__(self, config: QFEConfig | None = None, *, score: ScoreFunction | None = None) -> None:
+        self.config = config or QFEConfig()
+        self.score = score
+
+    def generate(
+        self,
+        original: Database,
+        result: Relation,
+        queries: Sequence[SPJQuery],
+    ) -> DatabaseGenerationResult:
+        """Produce ``D'`` distinguishing *queries*; raises if no modification helps."""
+        if len(queries) < 2:
+            raise DatabaseGenerationError("need at least two candidate queries to distinguish")
+        config = self.config
+
+        # Join only the relations the candidates actually reference (Section 5
+        # assumes a shared join schema; this also keeps databases with
+        # unrelated extra tables usable).
+        referenced = sorted({table for query in queries for table in query.tables})
+        try:
+            joined = foreign_key_join(original, referenced)
+        except Exception as exc:
+            raise DatabaseGenerationError(
+                f"cannot materialize the join of {referenced}: {exc}"
+            ) from exc
+        space = TupleClassSpace(joined, queries)
+        if space.attribute_count == 0:
+            raise DatabaseGenerationError(
+                "candidate queries have no selection predicates to distinguish"
+            )
+        result_arity = result.schema.arity
+        simulator = PairSetSimulator(space, result_arity=result_arity)
+
+        started = perf_counter()
+        skyline = skyline_stc_dtc_pairs(
+            space, config, result_arity=result_arity, simulator=simulator
+        )
+        skyline_seconds = perf_counter() - started
+        if not skyline.pairs:
+            raise DatabaseGenerationError("Algorithm 3 found no distinguishing tuple-class pairs")
+
+        started = perf_counter()
+        selection = pick_stc_dtc_subset(
+            space,
+            skyline.pairs,
+            config,
+            result_arity=result_arity,
+            most_balanced_binary_x=skyline.most_balanced_binary_x,
+            score=self.score,
+            simulator=simulator,
+        )
+        selection_seconds = perf_counter() - started
+        if not selection.found:
+            raise DatabaseGenerationError("Algorithm 4 found no distinguishing pair subset")
+
+        # Materialize the chosen subset; if the concrete database fails to
+        # split the candidates (side effects, value collisions), fall back to
+        # other skyline pairs ordered by their single-pair balance.
+        attempts: list[tuple[ClassPair, ...]] = [selection.chosen_pairs]
+        ordered_singles = sorted(
+            skyline.pairs, key=lambda pair: (skyline.pair_balances.get(pair, float("inf")), str(pair))
+        )
+        attempts.extend((pair,) for pair in ordered_singles if (pair,) != selection.chosen_pairs)
+
+        started = perf_counter()
+        fallback_attempts = 0
+        last_error: str | None = None
+        for pairs in attempts[: 1 + len(ordered_singles)]:
+            materialization = materialize_pairs(space, pairs, original, config)
+            if not materialization.applied:
+                fallback_attempts += 1
+                last_error = "no class pair could be materialized"
+                continue
+            partition = partition_queries(
+                queries,
+                materialization.database,
+                set_semantics=config.set_semantics,
+                result_name=result.schema.name,
+            )
+            if partition.distinguishes:
+                materialize_seconds = perf_counter() - started
+                return DatabaseGenerationResult(
+                    database=materialization.database,
+                    partition=partition,
+                    materialization=materialization,
+                    skyline=skyline,
+                    selection=selection,
+                    chosen_pairs=tuple(pairs),
+                    chosen_cost=selection.chosen_cost if pairs == selection.chosen_pairs else None,
+                    skyline_seconds=skyline_seconds,
+                    selection_seconds=selection_seconds,
+                    materialize_seconds=materialize_seconds,
+                    fallback_attempts=fallback_attempts,
+                )
+            fallback_attempts += 1
+            last_error = "materialized database did not distinguish any candidates"
+        raise DatabaseGenerationError(
+            f"could not generate a distinguishing database: {last_error} "
+            f"after {fallback_attempts} attempts"
+        )

@@ -1,0 +1,109 @@
+"""Section 6 extensions: different join schemas and set semantics.
+
+Section 6.2 — *queries with different join schemas*: when the candidate set
+mixes join schemas, QFE partitions the candidates into groups sharing a join
+schema and runs the winnowing loop group by group, processing groups in
+non-ascending size order (the target is assumed more likely to live in a
+larger group) and stopping as soon as one group converges with a confirmed
+target. :func:`run_grouped_session` implements that strategy on top of
+:class:`~repro.core.session.QFESession`.
+
+Section 6.1 — *set semantics*: handled by the ``set_semantics`` flag of
+:class:`~repro.core.config.QFEConfig` (candidate results are compared as
+sets and the oracle/partitioner fingerprints ignore duplicates); the helper
+:func:`group_by_join_schema` is shared by both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.config import QFEConfig
+from repro.core.feedback import ResultSelector
+from repro.core.session import QFESession, SessionResult
+from repro.qbo.config import QBOConfig
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+__all__ = ["group_by_join_schema", "GroupedSessionResult", "run_grouped_session"]
+
+
+def group_by_join_schema(queries: Sequence[SPJQuery]) -> list[list[SPJQuery]]:
+    """Partition candidates into groups sharing the same join schema.
+
+    Groups are ordered by non-ascending size (the paper's processing order),
+    ties broken by the join signature for determinism.
+    """
+    groups: dict[tuple[str, ...], list[SPJQuery]] = {}
+    for query in queries:
+        groups.setdefault(query.join_signature, []).append(query)
+    ordered = sorted(groups.items(), key=lambda item: (-len(item[1]), item[0]))
+    return [group for _, group in ordered]
+
+
+@dataclass
+class GroupedSessionResult:
+    """The outcome of the per-join-schema divide-and-conquer strategy."""
+
+    identified_query: SPJQuery | None
+    group_results: list[SessionResult] = field(default_factory=list)
+    groups_processed: int = 0
+
+    @property
+    def converged(self) -> bool:
+        """Whether a single target query was identified in some group."""
+        return self.identified_query is not None
+
+    @property
+    def total_iterations(self) -> int:
+        """Total feedback rounds across all processed groups."""
+        return sum(result.iteration_count for result in self.group_results)
+
+
+def run_grouped_session(
+    database: Database,
+    result: Relation,
+    candidates: Sequence[SPJQuery],
+    selector_factory,
+    *,
+    config: QFEConfig | None = None,
+    qbo_config: QBOConfig | None = None,
+    accept_group=None,
+) -> GroupedSessionResult:
+    """Run QFE per join-schema group until a group converges (Section 6.2).
+
+    ``selector_factory`` is called with the group's candidate list and must
+    return a :class:`~repro.core.feedback.ResultSelector` for that group.
+    ``accept_group`` (optional) decides whether a converged group's single
+    query is the user's target — by default the first converged group wins,
+    which matches a user confirming the final query. Groups with one candidate
+    are accepted immediately.
+    """
+    config = config or QFEConfig()
+    outcome = GroupedSessionResult(identified_query=None)
+    for group in group_by_join_schema(candidates):
+        outcome.groups_processed += 1
+        if len(group) == 1:
+            candidate = group[0]
+            if accept_group is None or accept_group(candidate):
+                outcome.identified_query = candidate
+                return outcome
+            continue
+        session = QFESession(
+            database,
+            result,
+            candidates=group,
+            config=config,
+            qbo_config=qbo_config,
+        )
+        selector: ResultSelector = selector_factory(group)
+        session_result = session.run(selector)
+        outcome.group_results.append(session_result)
+        if session_result.converged and session_result.identified_query is not None:
+            candidate = session_result.identified_query
+            if accept_group is None or accept_group(candidate):
+                outcome.identified_query = candidate
+                return outcome
+    return outcome

@@ -1,0 +1,98 @@
+"""Partition candidate queries by their results on a (modified) database.
+
+At each QFE iteration the surviving candidates ``QC'`` are partitioned into
+result-equivalence classes on the newly generated database ``D'``: two
+queries land in the same class exactly when they produce the same result on
+``D'`` (Section 2). This module computes that partition by exact evaluation
+(sharing join computations through a :class:`~repro.relational.evaluator.JoinCache`)
+and exposes the per-class results the Result Feedback module presents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.relational.database import Database
+from repro.relational.evaluator import JoinCache, result_fingerprint
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+__all__ = ["QueryGroup", "QueryPartition", "partition_queries"]
+
+
+@dataclass(frozen=True)
+class QueryGroup:
+    """One result-equivalence class: the queries and their common result."""
+
+    query_indexes: tuple[int, ...]
+    queries: tuple[SPJQuery, ...]
+    result: Relation
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+@dataclass(frozen=True)
+class QueryPartition:
+    """The full partition of a candidate set induced by one database instance."""
+
+    groups: tuple[QueryGroup, ...]
+
+    @property
+    def group_count(self) -> int:
+        """The number of distinct results (the ``k`` shown to the user)."""
+        return len(self.groups)
+
+    @property
+    def group_sizes(self) -> tuple[int, ...]:
+        """Sizes of the groups, largest first."""
+        return tuple(sorted((len(group) for group in self.groups), reverse=True))
+
+    @property
+    def distinguishes(self) -> bool:
+        """Whether the database tells at least two candidates apart."""
+        return self.group_count > 1
+
+    def largest_group(self) -> QueryGroup:
+        """The group with the most queries (worst-case user feedback picks this)."""
+        return max(self.groups, key=lambda group: (len(group), -self.groups.index(group)))
+
+    def group_containing(self, query: SPJQuery) -> QueryGroup | None:
+        """The group containing *query* (by query equality), if any."""
+        for group in self.groups:
+            if any(candidate == query for candidate in group.queries):
+                return group
+        return None
+
+
+def partition_queries(
+    queries: Sequence[SPJQuery],
+    database: Database,
+    *,
+    set_semantics: bool = False,
+    result_name: str = "Result",
+    join_cache: JoinCache | None = None,
+) -> QueryPartition:
+    """Group *queries* by their (bag or set) results on *database*."""
+    cache = join_cache or JoinCache()
+    buckets: dict[object, list[int]] = {}
+    results: dict[object, Relation] = {}
+    for index, query in enumerate(queries):
+        evaluated = cache.evaluate(query, database, name=result_name)
+        fingerprint = result_fingerprint(evaluated, set_semantics=set_semantics)
+        if fingerprint not in buckets:
+            buckets[fingerprint] = []
+            results[fingerprint] = evaluated
+        buckets[fingerprint].append(index)
+    groups = []
+    for fingerprint, indexes in buckets.items():
+        groups.append(
+            QueryGroup(
+                query_indexes=tuple(indexes),
+                queries=tuple(queries[i] for i in indexes),
+                result=results[fingerprint],
+            )
+        )
+    ordered = tuple(sorted(groups, key=lambda group: (-len(group), group.query_indexes)))
+    return QueryPartition(ordered)

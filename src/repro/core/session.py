@@ -1,0 +1,240 @@
+"""Algorithm 1: the end-to-end QFE interaction loop.
+
+:class:`QFESession` drives the whole approach for one example pair ``(D, R)``:
+
+1. obtain candidate queries ``QC`` (either supplied by the caller or produced
+   by the :class:`~repro.qbo.generator.QueryGenerator`);
+2. repeat: generate a distinguishing modified database ``D'`` (Algorithm 2),
+   partition the surviving candidates by their results on ``D'``, present the
+   deltas, obtain the user's choice, and keep only the chosen subset;
+3. stop when a single candidate remains (or when the remaining candidates can
+   no longer be distinguished, which the session reports explicitly).
+
+Every iteration is recorded as an :class:`IterationRecord` carrying exactly
+the quantities the paper's Table 1 reports (candidate count, subset count,
+skyline pair count, execution time, dbCost, resultCost, avgResultCost) plus
+the finer-grained timings behind Tables 4 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Sequence
+
+from repro.core.config import QFEConfig
+from repro.core.database_generator import DatabaseGenerationResult, DatabaseGenerator
+from repro.core.feedback import NONE_OF_THE_ABOVE, FeedbackRound, ResultSelector, build_feedback_round
+from repro.core.partitioner import QueryPartition
+from repro.core.subset_selection import ScoreFunction
+from repro.exceptions import DatabaseGenerationError, FeedbackError, QFESessionError
+from repro.qbo.config import QBOConfig
+from repro.qbo.generator import QueryGenerator
+from repro.qbo.mutation import expand_candidate_set
+from repro.relational.database import Database
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+__all__ = ["IterationRecord", "SessionResult", "QFESession"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Per-iteration statistics (one row of the paper's Table 1)."""
+
+    iteration: int
+    candidate_count: int
+    subset_count: int
+    skyline_pair_count: int
+    execution_seconds: float
+    skyline_seconds: float
+    selection_seconds: float
+    materialize_seconds: float
+    db_cost: float
+    result_cost: float
+    modified_attribute_count: int
+    modified_relation_count: int
+    modified_tuple_count: int
+    chosen_option: int
+    remaining_candidates: int
+
+    @property
+    def avg_result_cost(self) -> float:
+        """``resultCost / k`` — the per-result modification cost shown in Table 1."""
+        if self.subset_count == 0:
+            return 0.0
+        return self.result_cost / self.subset_count
+
+    @property
+    def modification_cost(self) -> float:
+        """Database plus result modification cost of the round."""
+        return self.db_cost + self.result_cost
+
+
+@dataclass
+class SessionResult:
+    """The outcome of a full QFE session."""
+
+    identified_query: SPJQuery | None
+    remaining_queries: tuple[SPJQuery, ...]
+    iterations: list[IterationRecord] = field(default_factory=list)
+    converged: bool = False
+    exhausted: bool = False
+    query_generation_seconds: float = 0.0
+    initial_candidate_count: int = 0
+
+    @property
+    def iteration_count(self) -> int:
+        """Number of feedback rounds the user went through."""
+        return len(self.iterations)
+
+    @property
+    def total_seconds(self) -> float:
+        """Query generation plus all per-iteration execution time."""
+        return self.query_generation_seconds + sum(r.execution_seconds for r in self.iterations)
+
+    @property
+    def total_modification_cost(self) -> float:
+        """Sum of database and result modification costs over all rounds."""
+        return sum(record.modification_cost for record in self.iterations)
+
+    @property
+    def total_db_cost(self) -> float:
+        """Sum of dbCost over all rounds."""
+        return sum(record.db_cost for record in self.iterations)
+
+    @property
+    def total_result_cost(self) -> float:
+        """Sum of resultCost over all rounds."""
+        return sum(record.result_cost for record in self.iterations)
+
+
+class QFESession:
+    """Drive Algorithm 1 for one example database–result pair."""
+
+    def __init__(
+        self,
+        database: Database,
+        result: Relation,
+        *,
+        candidates: Sequence[SPJQuery] | None = None,
+        config: QFEConfig | None = None,
+        qbo_config: QBOConfig | None = None,
+        score: ScoreFunction | None = None,
+    ) -> None:
+        self.database = database
+        self.result = result
+        self.config = config or QFEConfig()
+        self.qbo_config = qbo_config or QBOConfig()
+        self._provided_candidates = list(candidates) if candidates is not None else None
+        self._generator = DatabaseGenerator(self.config, score=score)
+        self.last_rounds: list[FeedbackRound] = []
+
+    # -------------------------------------------------------------- candidates
+    def _initial_candidates(self, session: SessionResult) -> list[SPJQuery]:
+        if self._provided_candidates is not None:
+            session.query_generation_seconds = 0.0
+            return list(self._provided_candidates)
+        started = perf_counter()
+        generator = QueryGenerator(self.qbo_config)
+        candidates = generator.generate(
+            self.database, self.result, set_semantics=self.config.set_semantics
+        )
+        session.query_generation_seconds = perf_counter() - started
+        return candidates
+
+    def _replenish_candidates(self, current: list[SPJQuery]) -> list[SPJQuery]:
+        """Section 2's escape hatch: generate additional candidates on demand."""
+        expanded = expand_candidate_set(
+            self.database,
+            self.result,
+            current,
+            target_size=len(current) * 2 + 5,
+            set_semantics=self.config.set_semantics,
+        )
+        return expanded
+
+    # --------------------------------------------------------------------- run
+    def run(self, selector: ResultSelector) -> SessionResult:
+        """Execute the full interaction loop with the given result selector."""
+        session = SessionResult(identified_query=None, remaining_queries=())
+        candidates = self._initial_candidates(session)
+        if not candidates:
+            raise QFESessionError("no candidate queries available for the example pair")
+        session.initial_candidate_count = len(candidates)
+        self.last_rounds = []
+
+        iteration = 0
+        while len(candidates) > 1 and iteration < self.config.max_iterations:
+            iteration += 1
+            iteration_started = perf_counter()
+            try:
+                generation = self._generator.generate(self.database, self.result, candidates)
+            except DatabaseGenerationError:
+                # The remaining candidates cannot be distinguished by any
+                # modification within budget; report them all.
+                session.exhausted = True
+                break
+
+            round_ = build_feedback_round(
+                iteration, self.database, self.result, generation.database, generation.partition
+            )
+            self.last_rounds.append(round_)
+            execution_seconds = perf_counter() - iteration_started
+            choice = selector.select(round_, generation.partition)
+
+            if choice == NONE_OF_THE_ABOVE:
+                replenished = self._replenish_candidates(candidates)
+                if len(replenished) == len(candidates):
+                    raise FeedbackError(
+                        "user rejected every presented result and no further candidate "
+                        "queries could be generated"
+                    )
+                candidates = replenished
+                continue
+            if not 0 <= choice < generation.partition.group_count:
+                raise FeedbackError(f"selector returned invalid option index {choice}")
+
+            chosen_group = generation.partition.groups[choice]
+            record = self._record_iteration(
+                iteration, candidates, generation, choice, chosen_group.queries, execution_seconds
+            )
+            session.iterations.append(record)
+            candidates = list(chosen_group.queries)
+
+        session.remaining_queries = tuple(candidates)
+        if len(candidates) == 1:
+            session.identified_query = candidates[0]
+            session.converged = True
+        return session
+
+    # ------------------------------------------------------------------ stats
+    def _record_iteration(
+        self,
+        iteration: int,
+        candidates: Sequence[SPJQuery],
+        generation: DatabaseGenerationResult,
+        choice: int,
+        chosen_queries: Sequence[SPJQuery],
+        execution_seconds: float,
+    ) -> IterationRecord:
+        round_ = self.last_rounds[-1]
+        db_cost = round_.database_delta.cost + self.config.beta * round_.database_delta.modified_relation_count
+        result_cost = float(sum(option.delta.cost for option in round_.options))
+        return IterationRecord(
+            iteration=iteration,
+            candidate_count=len(candidates),
+            subset_count=generation.partition.group_count,
+            skyline_pair_count=generation.skyline.pair_count,
+            execution_seconds=execution_seconds,
+            skyline_seconds=generation.skyline_seconds,
+            selection_seconds=generation.selection_seconds,
+            materialize_seconds=generation.materialize_seconds,
+            db_cost=float(db_cost),
+            result_cost=result_cost,
+            modified_attribute_count=generation.materialization.modification_count,
+            modified_relation_count=generation.materialization.modified_relation_count,
+            modified_tuple_count=generation.materialization.modified_tuple_count,
+            chosen_option=choice,
+            remaining_candidates=len(chosen_queries),
+        )

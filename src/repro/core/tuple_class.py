@@ -1,0 +1,385 @@
+"""Tuple classes (Section 5.1): the abstraction the Database Generator searches.
+
+Given the joined relation ``T`` and the surviving candidate queries ``QC``,
+every attribute ``A_i`` appearing in a selection predicate of ``QC`` has its
+domain partitioned into a minimum collection of subsets ``P_QC(A_i)`` such
+that each selection term on ``A_i`` is constant (all-true or all-false) on
+each subset. A *tuple class* is a choice of one subset per selection
+attribute; every tuple of ``T`` belongs to exactly one tuple class, and every
+candidate query either matches all tuples of a class or none of them.
+
+The module provides:
+
+* :class:`DomainSubset` / :class:`DomainPartition` — the per-attribute
+  partition, for both ordered (numeric) and categorical domains, each subset
+  carrying representative values used when materializing modifications;
+* :class:`TupleClass` — one combination of subsets, with query matching;
+* :class:`TupleClassSpace` — the partitions for all selection attributes, the
+  mapping of joined rows to their source tuple classes (STCs), and the
+  enumeration of destination tuple classes (DTCs) at a given edit distance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.relational.join import JoinedRelation
+from repro.relational.predicates import Term
+from repro.relational.query import SPJQuery
+from repro.relational.types import value_sort_key
+
+__all__ = ["DomainSubset", "DomainPartition", "TupleClass", "TupleClassSpace"]
+
+
+# --------------------------------------------------------------------- subsets
+@dataclass(frozen=True)
+class DomainSubset:
+    """One block of a selection attribute's domain partition.
+
+    ``signature`` records, per selection term on the attribute, whether the
+    block satisfies it; two values in the same block are indistinguishable to
+    every candidate query. ``representatives`` are concrete values from the
+    block — active-domain values first, then synthesized ones — used when the
+    Database Generator materializes a modification into this block.
+    """
+
+    attribute: str
+    index: int
+    signature: tuple[bool, ...]
+    representatives: tuple[Any, ...]
+    description: str
+
+    @property
+    def has_representative(self) -> bool:
+        """Whether a concrete value can be drawn from this block."""
+        return bool(self.representatives)
+
+    def representative(self) -> Any:
+        """The preferred concrete value of this block."""
+        if not self.representatives:
+            raise ValueError(f"domain subset {self.description} has no representative value")
+        return self.representatives[0]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.attribute}∈{self.description}"
+
+
+class DomainPartition:
+    """The partition ``P_QC(A)`` of one selection attribute's domain."""
+
+    def __init__(self, attribute: str, terms: Sequence[Term], active_values: Sequence[Any]) -> None:
+        self.attribute = attribute
+        self.terms = tuple(terms)
+        self.subsets: tuple[DomainSubset, ...] = tuple(
+            self._build_subsets(attribute, self.terms, list(active_values))
+        )
+        self._subset_of_value_cache: dict[Any, int] = {}
+
+    # ------------------------------------------------------------------ build
+    @staticmethod
+    def _signature_of_value(terms: Sequence[Term], value: Any) -> tuple[bool, ...]:
+        return tuple(term.evaluate_value(value) for term in terms)
+
+    @classmethod
+    def _build_subsets(
+        cls, attribute: str, terms: Sequence[Term], active_values: list[Any]
+    ) -> list[DomainSubset]:
+        numeric_active = [
+            v for v in active_values if isinstance(v, (int, float)) and not isinstance(v, bool)
+        ]
+        all_numeric = bool(active_values) and len(numeric_active) == len(active_values)
+        numeric_constants = [
+            c
+            for term in terms
+            for c in term.constants()
+            if isinstance(c, (int, float)) and not isinstance(c, bool)
+        ]
+        if all_numeric or (not active_values and numeric_constants):
+            return cls._build_numeric_subsets(attribute, terms, numeric_active)
+        return cls._build_categorical_subsets(attribute, terms, active_values)
+
+    @classmethod
+    def _build_numeric_subsets(
+        cls, attribute: str, terms: Sequence[Term], active_values: list[Any]
+    ) -> list[DomainSubset]:
+        # Atomic intervals induced by every numeric constant, then merged by
+        # term signature so the partition is minimal (Example 5.1).
+        breakpoints = sorted(
+            {float(c) for term in terms for c in term.constants() if isinstance(c, (int, float)) and not isinstance(c, bool)}
+        )
+        probes: list[float] = []
+        interval_labels: list[str] = []
+        if not breakpoints:
+            probes = [0.0]
+            interval_labels = ["(-inf, +inf)"]
+        else:
+            spread = max(breakpoints[-1] - breakpoints[0], 1.0)
+            probes.append(breakpoints[0] - spread)
+            interval_labels.append(f"(-inf, {breakpoints[0]:g})")
+            for i, point in enumerate(breakpoints):
+                probes.append(point)
+                interval_labels.append(f"[{point:g}]")
+                upper = breakpoints[i + 1] if i + 1 < len(breakpoints) else point + spread
+                probes.append((point + upper) / 2.0 if i + 1 < len(breakpoints) else point + spread)
+                interval_labels.append(
+                    f"({point:g}, {upper:g})" if i + 1 < len(breakpoints) else f"({point:g}, +inf)"
+                )
+
+        groups: dict[tuple[bool, ...], dict[str, list[Any]]] = {}
+        order: list[tuple[bool, ...]] = []
+        for probe, label in zip(probes, interval_labels):
+            signature = cls._signature_of_value(terms, probe)
+            bucket = groups.setdefault(signature, {"labels": [], "synth": [], "active": []})
+            if signature not in order:
+                order.append(signature)
+            bucket["labels"].append(label)
+            bucket["synth"].append(cls._clean_number(probe))
+        for value in sorted(set(active_values)):
+            signature = cls._signature_of_value(terms, value)
+            bucket = groups.setdefault(signature, {"labels": [], "synth": [], "active": []})
+            if signature not in order:
+                order.append(signature)
+            bucket["active"].append(cls._clean_number(float(value)))
+
+        subsets: list[DomainSubset] = []
+        for index, signature in enumerate(order):
+            bucket = groups[signature]
+            representatives = tuple(dict.fromkeys(bucket["active"] + bucket["synth"]))
+            description = " ∪ ".join(dict.fromkeys(bucket["labels"])) or "{active}"
+            subsets.append(
+                DomainSubset(attribute, index, signature, representatives, description)
+            )
+        return subsets
+
+    @staticmethod
+    def _clean_number(value: float) -> Any:
+        if float(value).is_integer():
+            return int(value)
+        return float(value)
+
+    @classmethod
+    def _build_categorical_subsets(
+        cls, attribute: str, terms: Sequence[Term], active_values: list[Any]
+    ) -> list[DomainSubset]:
+        constants = [c for term in terms for c in term.constants()]
+        universe = list(dict.fromkeys(list(active_values) + constants))
+        universe.sort(key=value_sort_key)
+        groups: dict[tuple[bool, ...], list[Any]] = {}
+        order: list[tuple[bool, ...]] = []
+        for value in universe:
+            signature = cls._signature_of_value(terms, value)
+            if signature not in groups:
+                groups[signature] = []
+                order.append(signature)
+            groups[signature].append(value)
+        # A "fresh value" block (satisfying no equality/membership term) exists
+        # implicitly; only add it when no existing block has that signature.
+        fresh_signature = tuple(
+            term.op.value in ("!=", "NOT IN") for term in terms
+        )
+        if terms and fresh_signature not in groups:
+            groups[fresh_signature] = []
+            order.append(fresh_signature)
+        subsets = []
+        for index, signature in enumerate(order):
+            values = groups[signature]
+            description = "{" + ", ".join(str(v) for v in values[:6]) + ("…}" if len(values) > 6 else "}")
+            representatives = tuple(values)
+            if not representatives:
+                representatives = (cls._fresh_value(universe),)
+                description = "{fresh}"
+            subsets.append(DomainSubset(attribute, index, signature, representatives, description))
+        return subsets
+
+    @staticmethod
+    def _fresh_value(universe: list[Any]) -> Any:
+        existing = {v for v in universe if isinstance(v, str)}
+        candidate = "QFE_OTHER"
+        suffix = 0
+        while candidate in existing:
+            suffix += 1
+            candidate = f"QFE_OTHER_{suffix}"
+        return candidate
+
+    # ----------------------------------------------------------------- lookup
+    def __len__(self) -> int:
+        return len(self.subsets)
+
+    def subset_of_value(self, value: Any) -> int:
+        """Index of the subset containing *value* (NULL maps to a no-term block)."""
+        key = value if not isinstance(value, float) else round(value, 12)
+        if key in self._subset_of_value_cache:
+            return self._subset_of_value_cache[key]
+        signature = self._signature_of_value(self.terms, value)
+        for subset in self.subsets:
+            if subset.signature == signature:
+                self._subset_of_value_cache[key] = subset.index
+                return subset.index
+        # A value whose signature was never seen (possible for NULLs): treat it
+        # as belonging to the first all-false block, creating one if needed.
+        for subset in self.subsets:
+            if not any(subset.signature):
+                self._subset_of_value_cache[key] = subset.index
+                return subset.index
+        self._subset_of_value_cache[key] = 0
+        return 0
+
+    def subset(self, index: int) -> DomainSubset:
+        """The subset with the given index."""
+        return self.subsets[index]
+
+
+# ---------------------------------------------------------------- tuple classes
+@dataclass(frozen=True)
+class TupleClass:
+    """A tuple of domain-subset indexes, one per selection attribute."""
+
+    subset_indexes: tuple[int, ...]
+
+    def differing_positions(self, other: "TupleClass") -> tuple[int, ...]:
+        """Positions (attribute slots) where the two classes differ."""
+        return tuple(
+            i for i, (a, b) in enumerate(zip(self.subset_indexes, other.subset_indexes)) if a != b
+        )
+
+    def edit_distance(self, other: "TupleClass") -> int:
+        """``minEdit`` between the classes: number of differing attribute slots."""
+        return len(self.differing_positions(other))
+
+    def __len__(self) -> int:
+        return len(self.subset_indexes)
+
+
+class TupleClassSpace:
+    """Domain partitions + the STC structure of a joined relation w.r.t. ``QC``."""
+
+    def __init__(self, joined: JoinedRelation, queries: Sequence[SPJQuery]) -> None:
+        self.joined = joined
+        self.queries = tuple(queries)
+        self.selection_attributes: tuple[str, ...] = self._collect_selection_attributes(queries)
+        self.partitions: dict[str, DomainPartition] = {}
+        for attribute in self.selection_attributes:
+            terms = [
+                term for query in queries for term in query.predicate.terms_on(attribute)
+            ]
+            active = [
+                v
+                for v in joined.relation.column(attribute)
+                if v is not None
+            ]
+            self.partitions[attribute] = DomainPartition(attribute, terms, active)
+        self._row_classes: list[TupleClass] = []
+        self._class_rows: dict[TupleClass, list[int]] = {}
+        self._assign_rows()
+        self._match_cache: dict[tuple[int, TupleClass], bool] = {}
+
+    # ------------------------------------------------------------------ build
+    @staticmethod
+    def _collect_selection_attributes(queries: Sequence[SPJQuery]) -> tuple[str, ...]:
+        ordered: dict[str, None] = {}
+        for query in queries:
+            for attribute in query.selection_attributes():
+                ordered.setdefault(attribute, None)
+        return tuple(ordered)
+
+    def _assign_rows(self) -> None:
+        positions = {
+            attribute: self.joined.relation.schema.index_of(attribute)
+            for attribute in self.selection_attributes
+        }
+        for row in self.joined.relation.tuples:
+            indexes = tuple(
+                self.partitions[attribute].subset_of_value(row.values[positions[attribute]])
+                for attribute in self.selection_attributes
+            )
+            tuple_class = TupleClass(indexes)
+            self._row_classes.append(tuple_class)
+            self._class_rows.setdefault(tuple_class, []).append(len(self._row_classes) - 1)
+
+    # ----------------------------------------------------------------- access
+    @property
+    def attribute_count(self) -> int:
+        """Number of distinct selection-predicate attributes (the ``n`` of Alg. 3)."""
+        return len(self.selection_attributes)
+
+    def source_tuple_classes(self) -> list[TupleClass]:
+        """All tuple classes that contain at least one joined row, deterministic order."""
+        return sorted(self._class_rows, key=lambda tc: tc.subset_indexes)
+
+    def rows_in_class(self, tuple_class: TupleClass) -> tuple[int, ...]:
+        """Joined-row positions belonging to the class."""
+        return tuple(self._class_rows.get(tuple_class, ()))
+
+    def class_of_row(self, position: int) -> TupleClass:
+        """The tuple class of the joined row at *position*."""
+        return self._row_classes[position]
+
+    def max_subsets_per_attribute(self) -> int:
+        """``k = max_i |P_QC(A_i)|`` — drives Algorithm 3's complexity bound."""
+        if not self.partitions:
+            return 1
+        return max(len(partition) for partition in self.partitions.values())
+
+    # --------------------------------------------------------------- matching
+    def representative_values(self, tuple_class: TupleClass) -> dict[str, Any]:
+        """Concrete values (one per selection attribute) representing the class."""
+        values: dict[str, Any] = {}
+        for attribute, index in zip(self.selection_attributes, tuple_class.subset_indexes):
+            values[attribute] = self.partitions[attribute].subset(index).representative()
+        return values
+
+    def matches(self, query_index: int, tuple_class: TupleClass) -> bool:
+        """Whether the candidate query at *query_index* matches the tuple class.
+
+        By construction every term of every candidate is constant on each
+        domain subset, so evaluating the predicate on the class's
+        representative values decides it for all tuples of the class.
+        """
+        key = (query_index, tuple_class)
+        if key in self._match_cache:
+            return self._match_cache[key]
+        query = self.queries[query_index]
+        row = self.representative_values(tuple_class)
+        # The representative values cover every selection attribute of every
+        # candidate, so the query's predicate can be evaluated directly.
+        result = True if query.predicate.is_true else query.predicate.evaluate_row(row)
+        self._match_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------ enumeration
+    def destination_classes(self, source: TupleClass, modified_slots: int) -> Iterator[TupleClass]:
+        """All DTCs derived from *source* by changing exactly *modified_slots* attributes.
+
+        Only destination blocks with at least one representative value are
+        yielded (otherwise the modification could not be materialized).
+        """
+        n = len(self.selection_attributes)
+        if modified_slots < 1 or modified_slots > n:
+            return
+        for slots in itertools.combinations(range(n), modified_slots):
+            alternatives_per_slot = []
+            for slot in slots:
+                attribute = self.selection_attributes[slot]
+                partition = self.partitions[attribute]
+                alternatives = [
+                    subset.index
+                    for subset in partition.subsets
+                    if subset.index != source.subset_indexes[slot] and subset.has_representative
+                ]
+                alternatives_per_slot.append(alternatives)
+            if any(not alternatives for alternatives in alternatives_per_slot):
+                continue
+            for choice in itertools.product(*alternatives_per_slot):
+                new_indexes = list(source.subset_indexes)
+                for slot, subset_index in zip(slots, choice):
+                    new_indexes[slot] = subset_index
+                yield TupleClass(tuple(new_indexes))
+
+    def changed_attributes(self, source: TupleClass, destination: TupleClass) -> tuple[str, ...]:
+        """Qualified attribute names whose subset changes between the two classes."""
+        return tuple(
+            self.selection_attributes[slot]
+            for slot in source.differing_positions(destination)
+        )

@@ -1,0 +1,5 @@
+"""Dataset builders: synthetic equivalents of the paper's evaluation databases."""
+
+from repro.datasets import adult, baseball, employee, scientific, synth
+
+__all__ = ["employee", "scientific", "baseball", "adult", "synth"]

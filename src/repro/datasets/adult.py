@@ -1,0 +1,167 @@
+"""Synthetic equivalent of the 1994 Census "Adult" extract used in the user study.
+
+Section 7.7: the preliminary user study ran over a single ``Adult`` relation
+of 5227 tuples extracted from the 1994 Census database, chosen because its
+domain is easy for participants to understand. This module generates a seeded
+synthetic table with the standard Adult columns and provides the three
+user-study target queries (the paper does not print them, so we use three
+simple SPJ selections of increasing width over well-understood attributes,
+with small result sizes so the feedback rounds stay readable).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datasets.synth import rng_for, scaled_count
+from repro.relational.database import Database
+from repro.relational.evaluator import evaluate
+from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+__all__ = ["ADULT_TABLE", "FULL_ADULT_ROWS", "build_database", "user_study_queries"]
+
+ADULT_TABLE = "Adult"
+FULL_ADULT_ROWS = 5227
+
+ADULT_COLUMNS = [
+    "person_id",
+    "age",
+    "workclass",
+    "education",
+    "education_num",
+    "marital_status",
+    "occupation",
+    "relationship",
+    "race",
+    "sex",
+    "capital_gain",
+    "capital_loss",
+    "hours_per_week",
+    "native_country",
+    "income",
+]
+
+_WORKCLASSES = ["Private", "Self-emp", "Federal-gov", "State-gov", "Local-gov", "Without-pay"]
+_EDUCATION = ["HS-grad", "Some-college", "Bachelors", "Masters", "Doctorate", "11th", "Assoc"]
+_MARITAL = ["Married", "Never-married", "Divorced", "Widowed", "Separated"]
+_OCCUPATIONS = [
+    "Tech-support", "Craft-repair", "Sales", "Exec-managerial", "Prof-specialty",
+    "Handlers-cleaners", "Machine-op-inspct", "Adm-clerical", "Farming-fishing",
+    "Transport-moving",
+]
+_RELATIONSHIPS = ["Husband", "Wife", "Own-child", "Not-in-family", "Unmarried", "Other-relative"]
+_RACES = ["White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"]
+_COUNTRIES = ["United-States", "Mexico", "Philippines", "Germany", "Canada", "India", "England"]
+
+
+def _row(rng, person_id: int) -> list[Any]:
+    education = rng.choice(_EDUCATION)
+    education_num = {"11th": 7, "HS-grad": 9, "Some-college": 10, "Assoc": 12,
+                     "Bachelors": 13, "Masters": 14, "Doctorate": 16}[education]
+    return [
+        person_id,
+        rng.randint(17, 90),
+        rng.choice(_WORKCLASSES),
+        education,
+        education_num,
+        rng.choice(_MARITAL),
+        rng.choice(_OCCUPATIONS),
+        rng.choice(_RELATIONSHIPS),
+        rng.choice(_RACES),
+        rng.choice(["Male", "Female"]),
+        rng.choice([0, 0, 0, 0, rng.randint(1000, 99999)]),
+        rng.choice([0, 0, 0, 0, rng.randint(100, 4000)]),
+        rng.randint(1, 99),
+        rng.choice(_COUNTRIES),
+        ">50K" if rng.random() < 0.24 else "<=50K",
+    ]
+
+
+def _planted_rows(rng, start_id: int) -> list[list[Any]]:
+    """Hand-planted rows guaranteeing small, non-empty user-study results."""
+    rows: list[list[Any]] = []
+    person_id = start_id
+    # Target 1: Doctorate holders working > 60 hours (4 rows).
+    for _ in range(4):
+        row = _row(rng, person_id)
+        row[3], row[4], row[12] = "Doctorate", 16, rng.randint(61, 80)
+        rows.append(row)
+        person_id += 1
+    # Target 2: young (age < 25) federal-government workers (3 rows).
+    for _ in range(3):
+        row = _row(rng, person_id)
+        row[1], row[2] = rng.randint(18, 24), "Federal-gov"
+        rows.append(row)
+        person_id += 1
+    # Target 3: high-capital-gain (> 50000) sales people (3 rows).
+    for _ in range(3):
+        row = _row(rng, person_id)
+        row[6], row[10] = "Sales", rng.randint(50001, 99999)
+        rows.append(row)
+        person_id += 1
+    return rows
+
+
+def build_database(scale: float = 1.0, *, seed: int | None = None) -> Database:
+    """Build the synthetic Adult table (5227 rows at full scale)."""
+    rng = rng_for("adult", seed)
+    total = max(scaled_count(FULL_ADULT_ROWS, scale), 60)
+    planted = _planted_rows(rng, start_id=1)
+    rows = list(planted)
+    person_id = len(planted) + 1
+    while len(rows) < total:
+        row = _row(rng, person_id)
+        # Keep the planted result sets exact: background rows must not satisfy
+        # any of the three target predicates.
+        if row[3] == "Doctorate" and row[12] > 60:
+            row[12] = rng.randint(20, 60)
+        if row[1] < 25 and row[2] == "Federal-gov":
+            row[2] = "Private"
+        if row[6] == "Sales" and row[10] > 50000:
+            row[10] = rng.randint(0, 50000)
+        rows.append(row)
+        person_id += 1
+    return Database.from_tables(
+        {ADULT_TABLE: (ADULT_COLUMNS, rows)},
+        primary_keys={ADULT_TABLE: ["person_id"]},
+    )
+
+
+def user_study_queries() -> list[SPJQuery]:
+    """The three user-study target queries over the Adult table."""
+    def q(terms: list[Term], projection: list[str]) -> SPJQuery:
+        return SPJQuery([ADULT_TABLE], projection, DNFPredicate.from_terms(terms))
+
+    return [
+        q(
+            [
+                Term("Adult.education", ComparisonOp.EQ, "Doctorate"),
+                Term("Adult.hours_per_week", ComparisonOp.GT, 60),
+            ],
+            ["Adult.occupation", "Adult.hours_per_week"],
+        ),
+        q(
+            [
+                Term("Adult.age", ComparisonOp.LT, 25),
+                Term("Adult.workclass", ComparisonOp.EQ, "Federal-gov"),
+            ],
+            ["Adult.age", "Adult.occupation"],
+        ),
+        q(
+            [
+                Term("Adult.occupation", ComparisonOp.EQ, "Sales"),
+                Term("Adult.capital_gain", ComparisonOp.GT, 50000),
+            ],
+            ["Adult.education", "Adult.capital_gain"],
+        ),
+    ]
+
+
+def example_pair(query_index: int = 0, *, scale: float = 1.0) -> tuple[Database, Relation, SPJQuery]:
+    """Build the Adult database and the ``(D, R)`` pair of one user-study target."""
+    database = build_database(scale)
+    target = user_study_queries()[query_index]
+    result = evaluate(target, database, name="R")
+    return database, result, target

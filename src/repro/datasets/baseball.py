@@ -1,0 +1,232 @@
+"""Synthetic equivalent of the paper's baseball database (Lahman archive slice).
+
+Section 7.1: the paper uses three tables of the Major League Baseball
+statistics archive — ``Manager`` (200 rows × 11 columns), ``Team`` (252 × 29)
+and ``Batting`` (6977 × 15) — whose foreign-key join has 8810 tuples, and
+four synthetic queries Q3–Q6 of varying complexity with result cardinalities
+5, 14, 4 and 4.
+
+The archive is not redistributed here, so this module builds a seeded
+synthetic database with the same schema shape, row counts, join fanout
+(some team-seasons have two manager stints, which is where the join grows
+beyond the Batting cardinality) and *planted* rows realizing exactly the
+paper's result cardinalities for Q3–Q6. Column names follow the Lahman
+conventions except that ``2B``/``3B`` are spelled ``doubles``/``triples`` so
+they remain valid identifiers everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datasets.synth import rng_for, scaled_count
+from repro.relational.database import Database
+from repro.relational.schema import ForeignKey
+
+__all__ = [
+    "MANAGER_TABLE",
+    "TEAM_TABLE",
+    "BATTING_TABLE",
+    "FULL_TEAM_ROWS",
+    "FULL_MANAGER_ROWS",
+    "FULL_BATTING_ROWS",
+    "build_database",
+    "Q4_PLAYERS",
+    "Q5_PLAYER",
+    "Q6_PLAYER",
+]
+
+MANAGER_TABLE = "Manager"
+TEAM_TABLE = "Team"
+BATTING_TABLE = "Batting"
+
+FULL_TEAM_ROWS = 252
+FULL_MANAGER_ROWS = 200
+FULL_BATTING_ROWS = 6977
+
+TEAM_COLUMNS = [
+    "team_season_id", "teamID", "year", "Rank", "G", "W", "L", "R", "AB", "H",
+    "doubles", "triples", "HR", "BB", "SO", "SB", "RA", "ER", "ERA", "CG",
+    "SHO", "SV", "IP", "HA", "HRA", "BBA", "SOA", "E", "park",
+]
+MANAGER_COLUMNS = [
+    "manager_stint_id", "managerID", "team_season_id", "year", "inseason",
+    "G", "W", "L", "Rank", "plyrMgr", "notes",
+]
+BATTING_COLUMNS = [
+    "batting_id", "playerID", "team_season_id", "year", "stint", "G", "AB",
+    "R", "H", "doubles", "triples", "HR", "RBI", "SB", "BB",
+]
+
+TEAM_IDS = ["CIN", "NYA", "BOS", "LAN", "SFN", "CHN", "DET", "SLN", "PIT", "PHI", "ATL", "HOU"]
+Q4_PLAYERS = ("sotoma01", "brownto05", "pariske01", "welshch01")
+Q5_PLAYER = "rosepe01"
+Q6_PLAYER = "esaskni01"
+_PLANTED_PLAYERS = set(Q4_PLAYERS) | {Q5_PLAYER, Q6_PLAYER}
+
+
+def _team_row(rng, team_season_id: int, team_id: str, year: int, *, ip: float | None = None,
+              bba: int | None = None) -> list[Any]:
+    wins = rng.randint(55, 105)
+    return [
+        team_season_id, team_id, year, rng.randint(1, 7), 162, wins, 162 - wins,
+        rng.randint(550, 900), rng.randint(5200, 5800), rng.randint(1300, 1600),
+        rng.randint(200, 320), rng.randint(20, 60), rng.randint(80, 220),
+        rng.randint(400, 650), rng.randint(700, 1100), rng.randint(40, 180),
+        rng.randint(550, 900), rng.randint(500, 800), round(rng.uniform(3.0, 5.0), 2),
+        rng.randint(5, 30), rng.randint(4, 18), rng.randint(20, 55),
+        round(ip if ip is not None else rng.uniform(4200.0, 4500.0), 1),
+        rng.randint(1250, 1550), rng.randint(90, 200),
+        bba if bba is not None else rng.randint(380, 620),
+        rng.randint(650, 1100), rng.randint(80, 160), f"Park_{team_id}",
+    ]
+
+
+def _manager_row(rng, stint_id: int, manager_id: str, team_season_id: int, year: int,
+                 inseason: int) -> list[Any]:
+    games = rng.randint(40, 162)
+    wins = rng.randint(10, games)
+    return [
+        stint_id, manager_id, team_season_id, year, inseason, games, wins,
+        games - wins, rng.randint(1, 7), rng.choice(["Y", "N"]), f"note_{stint_id}",
+    ]
+
+
+def _batting_row(rng, batting_id: int, player_id: str, team_season_id: int, year: int, *,
+                 hr: int | None = None, doubles: int | None = None) -> list[Any]:
+    games = rng.randint(20, 162)
+    at_bats = rng.randint(50, 650)
+    return [
+        batting_id, player_id, team_season_id, year, 1, games, at_bats,
+        rng.randint(5, 120), rng.randint(10, 220),
+        doubles if doubles is not None else rng.randint(0, 45),
+        rng.randint(0, 12),
+        hr if hr is not None else rng.randint(0, 45),
+        rng.randint(5, 140), rng.randint(0, 70), rng.randint(5, 110),
+    ]
+
+
+def build_database(scale: float = 1.0, *, seed: int | None = None) -> Database:
+    """Build the synthetic baseball database.
+
+    The planted Cincinnati (``CIN``) seasons 1983–1987, their managers, and
+    the batting rows of the players referenced by Q4–Q6 are always present so
+    the paper's query cardinalities (Q3: 5, Q4: 14, Q5: 4, Q6: 4) hold at any
+    ``scale``; the remaining team-seasons, manager stints and batting rows are
+    background data scaled by ``scale``.
+    """
+    rng = rng_for("baseball", seed)
+    team_rows: list[list[Any]] = []
+    manager_rows: list[list[Any]] = []
+    batting_rows: list[list[Any]] = []
+    next_team = 1
+    next_stint = 1
+    next_batting = 1
+
+    # ------------------------------------------------------------- planted CIN
+    cin_seasons: dict[int, int] = {}
+    # Q6 predicate (IP > 4380) OR (IP <= 4380 AND BBA <= 485): 1985 is planted
+    # to *fail* it, every other planted season satisfies it.
+    planted_team_stats = {
+        1983: {"ip": 4400.0, "bba": 500},   # IP > 4380 -> satisfies Q6 disjunct 1
+        1984: {"ip": 4300.0, "bba": 450},   # IP <= 4380, BBA <= 485 -> satisfies
+        1985: {"ip": 4300.0, "bba": 560},   # fails both disjuncts
+        1986: {"ip": 4390.0, "bba": 470},   # satisfies
+        1987: {"ip": 4200.0, "bba": 420},   # satisfies
+    }
+    cin_managers = {
+        1983: "russnj01", 1984: "rosepe01", 1985: "rosepe01", 1986: "rosepe01", 1987: "rosepe01",
+    }
+    for year in range(1983, 1988):
+        stats = planted_team_stats[year]
+        team_rows.append(_team_row(rng, next_team, "CIN", year, ip=stats["ip"], bba=stats["bba"]))
+        cin_seasons[year] = next_team
+        manager_rows.append(_manager_row(rng, next_stint, cin_managers[year], next_team, year, 1))
+        next_team += 1
+        next_stint += 1
+
+    # Q5: rosepe01 batting rows with HR > 1 and doubles <= 3 in four CIN seasons,
+    # plus one row failing the predicate.
+    for year in (1984, 1985, 1986, 1987):
+        batting_rows.append(
+            _batting_row(rng, next_batting, Q5_PLAYER, cin_seasons[year], year, hr=rng.randint(2, 6),
+                         doubles=rng.randint(0, 3))
+        )
+        next_batting += 1
+    batting_rows.append(
+        _batting_row(rng, next_batting, Q5_PLAYER, cin_seasons[1983], 1983, hr=0, doubles=12)
+    )
+    next_batting += 1
+
+    # Q4: the four named players appear on CIN seasons (one manager each), with
+    # 5 + 4 + 3 + 2 = 14 joined rows in total.
+    q4_allocation = {Q4_PLAYERS[0]: 5, Q4_PLAYERS[1]: 4, Q4_PLAYERS[2]: 3, Q4_PLAYERS[3]: 2}
+    for player, row_count in q4_allocation.items():
+        for offset in range(row_count):
+            year = 1983 + (offset % 5)
+            batting_rows.append(
+                _batting_row(rng, next_batting, player, cin_seasons[year], year)
+            )
+            next_batting += 1
+
+    # Q6: esaskni01 has one batting row in each planted season; the 1985 season
+    # fails the IP/BBA predicate, so exactly 4 joined rows qualify.
+    for year in range(1983, 1988):
+        batting_rows.append(_batting_row(rng, next_batting, Q6_PLAYER, cin_seasons[year], year))
+        next_batting += 1
+
+    # ------------------------------------------------------------- background
+    team_total = max(scaled_count(FULL_TEAM_ROWS, scale), len(team_rows) + 10)
+    manager_total = max(scaled_count(FULL_MANAGER_ROWS, scale), len(manager_rows) + 8)
+    batting_total = max(scaled_count(FULL_BATTING_ROWS, scale), len(batting_rows) + 40)
+
+    background_team_ids: list[tuple[int, int]] = []  # (team_season_id, year)
+    while next_team <= team_total:
+        team_id = rng.choice(TEAM_IDS[1:])
+        year = rng.randint(1970, 1995)
+        team_rows.append(_team_row(rng, next_team, team_id, year))
+        background_team_ids.append((next_team, year))
+        next_team += 1
+
+    # Assign manager stints to background seasons: earlier seasons get one
+    # stint, roughly a quarter of them get a second ("mid-season change"),
+    # and the remainder get none — reproducing a 3-table join larger than
+    # Batting but smaller than Batting × 2.
+    managed_seasons: list[tuple[int, int]] = []
+    index = 0
+    while next_stint <= manager_total and index < len(background_team_ids):
+        team_season_id, year = background_team_ids[index]
+        manager_id = f"mgr{index:03d}a01"
+        manager_rows.append(_manager_row(rng, next_stint, manager_id, team_season_id, year, 1))
+        managed_seasons.append((team_season_id, year))
+        next_stint += 1
+        if next_stint <= manager_total and rng.random() < 0.26:
+            manager_rows.append(
+                _manager_row(rng, next_stint, f"mgr{index:03d}b01", team_season_id, year, 2)
+            )
+            next_stint += 1
+        index += 1
+
+    batting_seasons = managed_seasons + [(cin_seasons[y], y) for y in cin_seasons]
+    while next_batting <= batting_total:
+        team_season_id, year = rng.choice(batting_seasons)
+        player = f"plyr{rng.randint(0, 4000):04d}a01"
+        batting_rows.append(_batting_row(rng, next_batting, player, team_season_id, year))
+        next_batting += 1
+
+    return Database.from_tables(
+        {
+            TEAM_TABLE: (TEAM_COLUMNS, team_rows),
+            MANAGER_TABLE: (MANAGER_COLUMNS, manager_rows),
+            BATTING_TABLE: (BATTING_COLUMNS, batting_rows),
+        },
+        foreign_keys=[
+            ForeignKey(MANAGER_TABLE, ("team_season_id",), TEAM_TABLE, ("team_season_id",)),
+            ForeignKey(BATTING_TABLE, ("team_season_id",), TEAM_TABLE, ("team_season_id",)),
+        ],
+        primary_keys={
+            TEAM_TABLE: ["team_season_id"],
+            MANAGER_TABLE: ["manager_stint_id"],
+            BATTING_TABLE: ["batting_id"],
+        },
+    )

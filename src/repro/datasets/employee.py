@@ -1,0 +1,60 @@
+"""The Employee example of the paper's Example 1.1.
+
+A four-row single-table database, the result of the target query
+``π_name(σ_salary>4000(Employee))`` and the paper's three candidate queries
+``gender = 'M'``, ``salary > 4000`` and ``dept = 'IT'``. Used by the
+quickstart example and by the tests that replay Example 1.1 end to end.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+__all__ = ["build_database", "result_for", "candidate_trio", "example_pair", "TARGET_QUERY"]
+
+_ROWS = [
+    [1, "Alice", "F", "Sales", 3700],
+    [2, "Bob", "M", "IT", 4200],
+    [3, "Celina", "F", "Service", 3000],
+    [4, "Darren", "M", "IT", 5000],
+]
+
+
+def build_database() -> Database:
+    """The Employee database of Example 1.1."""
+    return Database.from_tables(
+        {"Employee": (["Eid", "name", "gender", "dept", "salary"], _ROWS)},
+        primary_keys={"Employee": ["Eid"]},
+    )
+
+
+def _selection_query(term: Term) -> SPJQuery:
+    return SPJQuery(["Employee"], ["Employee.name"], DNFPredicate.from_terms([term]))
+
+
+#: The paper's Q2 of Example 1.1 (``salary > 4000``) — used as the default target.
+TARGET_QUERY = _selection_query(Term("Employee.salary", ComparisonOp.GT, 4000))
+
+
+def candidate_trio() -> list[SPJQuery]:
+    """The three candidate queries {Q1, Q2, Q3} of Example 1.1."""
+    return [
+        _selection_query(Term("Employee.gender", ComparisonOp.EQ, "M")),
+        TARGET_QUERY,
+        _selection_query(Term("Employee.dept", ComparisonOp.EQ, "IT")),
+    ]
+
+
+def result_for(database: Database | None = None) -> Relation:
+    """The example result ``R`` — Bob and Darren."""
+    del database  # the result is fixed for the fixed example database
+    return Relation.from_rows("R", ["Employee.name"], [["Bob"], ["Darren"]])
+
+
+def example_pair() -> tuple[Database, Relation, SPJQuery]:
+    """The ``(D, R)`` pair plus the intended target query of Example 1.1."""
+    database = build_database()
+    return database, result_for(database), TARGET_QUERY

@@ -1,0 +1,189 @@
+"""Synthetic equivalent of the paper's SQLShare scientific (biology) database.
+
+The paper's first dataset (Section 7.1) consists of two tables uploaded to
+SQLShare by a biologist:
+
+* ``PmTE_ALL_DE`` — 3926 rows × 16 attributes of differential-expression
+  statistics (log-fold changes and p-values for four nutrient conditions:
+  Fe, P, Si and Urea);
+* ``table_Psemu1FL_RT_spgp_gp_ok`` — 424 rows × 3 attributes;
+* their foreign-key join has 417 tuples.
+
+The real data is not distributed with the paper, so this module generates a
+seeded synthetic database with the same schema shape, row counts and join
+selectivity, and *plants* rows so that the paper's two real user queries have
+exactly the paper's result cardinalities: ``Q1`` selects 1 joined row and
+``Q2`` selects 6 (Section 7.1). A ``scale`` parameter shrinks the background
+rows for fast tests while keeping the planted rows (and therefore the query
+results) identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datasets.synth import log_fold_change, p_value, rng_for, scaled_count
+from repro.relational.database import Database
+from repro.relational.schema import ForeignKey
+
+__all__ = [
+    "MAIN_TABLE",
+    "SIDE_TABLE",
+    "FULL_MAIN_ROWS",
+    "FULL_SIDE_ROWS",
+    "FULL_JOIN_ROWS",
+    "build_database",
+]
+
+MAIN_TABLE = "PmTE_ALL_DE"
+SIDE_TABLE = "table_Psemu1FL_RT_spgp_gp_ok"
+
+FULL_MAIN_ROWS = 3926
+FULL_SIDE_ROWS = 424
+FULL_JOIN_ROWS = 417  # 7 side-table rows carry NULL gene references
+
+MAIN_COLUMNS = [
+    "gene_id",
+    "logFC_Fe",
+    "logFC_P",
+    "logFC_Si",
+    "logFC_Urea",
+    "PValue_Fe",
+    "PValue_P",
+    "PValue_Si",
+    "PValue_Urea",
+    "AveExpr",
+    "t_stat",
+    "B_stat",
+    "adj_PValue",
+    "cluster",
+    "annotation",
+    "contig",
+]
+
+SIDE_COLUMNS = ["probe_id", "gene_id", "rt_value"]
+
+_ANNOTATIONS = ["transporter", "kinase", "ribosomal", "unknown", "photosynthesis", "stress"]
+
+
+def _q1_planted_row(rng, index: int) -> list[Any]:
+    """A row satisfying Q1: |logFC_Fe|<0.5, the other logFCs < -1, one p < 0.05."""
+    return _assemble_main_row(
+        rng,
+        gene_id=f"gene_q1_{index:03d}",
+        logfc_fe=round(rng.uniform(-0.4, 0.4), 4),
+        logfc_p=round(rng.uniform(-2.5, -1.2), 4),
+        logfc_si=round(rng.uniform(-2.5, -1.2), 4),
+        logfc_urea=round(rng.uniform(-2.5, -1.2), 4),
+        pvalue_fe=0.01,
+    )
+
+
+def _q2_planted_row(rng, index: int) -> list[Any]:
+    """A row satisfying Q2: logFC_Fe<1, the other logFCs > 1, one p < 0.05."""
+    return _assemble_main_row(
+        rng,
+        gene_id=f"gene_q2_{index:03d}",
+        logfc_fe=round(rng.uniform(-0.8, 0.8), 4),
+        logfc_p=round(rng.uniform(1.2, 2.8), 4),
+        logfc_si=round(rng.uniform(1.2, 2.8), 4),
+        logfc_urea=round(rng.uniform(1.2, 2.8), 4),
+        pvalue_fe=0.02,
+    )
+
+
+def _assemble_main_row(
+    rng,
+    *,
+    gene_id: str,
+    logfc_fe: float,
+    logfc_p: float,
+    logfc_si: float,
+    logfc_urea: float,
+    pvalue_fe: float,
+) -> list[Any]:
+    return [
+        gene_id,
+        logfc_fe,
+        logfc_p,
+        logfc_si,
+        logfc_urea,
+        pvalue_fe,
+        p_value(rng),
+        p_value(rng),
+        p_value(rng),
+        round(rng.uniform(2.0, 14.0), 3),
+        round(rng.uniform(-8.0, 8.0), 3),
+        round(rng.uniform(-5.0, 20.0), 3),
+        p_value(rng, significant_fraction=0.4),
+        rng.randint(1, 12),
+        rng.choice(_ANNOTATIONS),
+        f"contig_{rng.randint(1, 400):04d}",
+    ]
+
+
+def _background_main_row(rng, index: int) -> list[Any]:
+    """A background row guaranteed to fail both Q1 and Q2.
+
+    Q1 requires ``logFC_P < -1`` and Q2 requires ``logFC_P > 1``; pinning the
+    background ``logFC_P`` into ``[-0.9, 0.9]`` falsifies both regardless of
+    the remaining values, keeping the planted result cardinalities exact.
+    """
+    return _assemble_main_row(
+        rng,
+        gene_id=f"gene_bg_{index:05d}",
+        logfc_fe=log_fold_change(rng, spread=1.2),
+        logfc_p=round(rng.uniform(-0.9, 0.9), 4),
+        logfc_si=log_fold_change(rng, spread=1.5),
+        logfc_urea=log_fold_change(rng, spread=1.5),
+        pvalue_fe=p_value(rng),
+    )
+
+
+def build_database(scale: float = 1.0, *, seed: int | None = None) -> Database:
+    """Build the synthetic scientific database.
+
+    ``scale`` multiplies the background row counts (the 7 planted rows that
+    realize Q1's and Q2's results are always present); ``scale=1.0`` matches
+    the paper's row counts (3926 / 424 rows, 417-row join).
+    """
+    rng = rng_for("scientific", seed)
+    planted = [_q1_planted_row(rng, 0)] + [_q2_planted_row(rng, i) for i in range(6)]
+
+    main_total = max(scaled_count(FULL_MAIN_ROWS, scale), len(planted) + 10)
+    side_total = max(scaled_count(FULL_SIDE_ROWS, scale), len(planted) + 12)
+    null_side_rows = min(7, max(1, side_total - len(planted) - 1))
+
+    main_rows = list(planted)
+    for index in range(main_total - len(planted)):
+        main_rows.append(_background_main_row(rng, index))
+
+    # Side table: every planted gene is joined (so Q1/Q2 results survive the
+    # join), most background side rows reference background genes, and a few
+    # carry NULL gene references so the join is smaller than the side table.
+    side_rows: list[list[Any]] = []
+    probe_counter = 0
+
+    def _next_probe() -> str:
+        nonlocal probe_counter
+        probe_counter += 1
+        return f"probe_{probe_counter:05d}"
+
+    for row in planted:
+        side_rows.append([_next_probe(), row[0], round(rng.uniform(0.5, 30.0), 3)])
+    joined_background = side_total - len(planted) - null_side_rows
+    background_genes = [row[0] for row in main_rows[len(planted):]]
+    for index in range(max(joined_background, 0)):
+        gene = background_genes[index % len(background_genes)] if background_genes else None
+        side_rows.append([_next_probe(), gene, round(rng.uniform(0.5, 30.0), 3)])
+    for _ in range(null_side_rows):
+        side_rows.append([_next_probe(), None, round(rng.uniform(0.5, 30.0), 3)])
+
+    return Database.from_tables(
+        {
+            MAIN_TABLE: (MAIN_COLUMNS, main_rows),
+            SIDE_TABLE: (SIDE_COLUMNS, side_rows),
+        },
+        foreign_keys=[ForeignKey(SIDE_TABLE, ("gene_id",), MAIN_TABLE, ("gene_id",))],
+        primary_keys={MAIN_TABLE: ["gene_id"], SIDE_TABLE: ["probe_id"]},
+    )

@@ -1,0 +1,49 @@
+"""Experiment harness: regenerate every table and study of the paper's Section 7."""
+
+from repro.experiments.report import ExperimentTable, render_tables
+from repro.experiments.runner import ExperimentRun, prepare_candidates, run_session, run_workload
+from repro.experiments.simulated_user import (
+    NoisyOracleSelector,
+    ResponseTimeModel,
+    SimulatedUser,
+    simulated_oracle_user,
+    simulated_worst_case_user,
+)
+from repro.experiments.studies import entropy_study, initial_pair_size_study, user_study
+from repro.experiments.tables import (
+    DEFAULT_SCALE,
+    all_tables,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "render_tables",
+    "ExperimentRun",
+    "run_session",
+    "run_workload",
+    "prepare_candidates",
+    "SimulatedUser",
+    "ResponseTimeModel",
+    "NoisyOracleSelector",
+    "simulated_oracle_user",
+    "simulated_worst_case_user",
+    "DEFAULT_SCALE",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "all_tables",
+    "initial_pair_size_study",
+    "entropy_study",
+    "user_study",
+]

@@ -1,0 +1,95 @@
+"""Command-line entry point for regenerating the paper's tables and studies.
+
+Installed as the ``qfe-experiments`` console script::
+
+    qfe-experiments list
+    qfe-experiments table1 --scale 0.12
+    qfe-experiments all --scale 0.12 --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments import studies, tables
+from repro.experiments.report import ExperimentTable, render_tables
+
+__all__ = ["main", "build_parser"]
+
+
+def _as_list(result) -> list[ExperimentTable]:
+    if isinstance(result, ExperimentTable):
+        return [result]
+    return list(result)
+
+
+_EXPERIMENTS: dict[str, Callable[[float], list[ExperimentTable]]] = {
+    "table1": lambda scale: _as_list(tables.table1(scale)),
+    "table2": lambda scale: _as_list(tables.table2(scale)),
+    "table3": lambda scale: _as_list(tables.table3(scale)),
+    "table4": lambda scale: _as_list(tables.table4(scale)),
+    "table5": lambda scale: _as_list(tables.table5(scale)),
+    "table6": lambda scale: _as_list(tables.table6(scale)),
+    "table7": lambda scale: _as_list(tables.table7(scale)),
+    "size-study": lambda scale: _as_list(studies.initial_pair_size_study(scale)),
+    "entropy-study": lambda scale: _as_list(studies.entropy_study(scale)),
+    "user-study": lambda scale: _as_list(studies.user_study(scale)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the experiments CLI."""
+    parser = argparse.ArgumentParser(
+        prog="qfe-experiments",
+        description="Regenerate the tables and studies of the QFE paper (VLDB 2015).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run ('all' runs everything, 'list' shows the options)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=tables.DEFAULT_SCALE,
+        help="dataset scale factor (1.0 = the paper's full row counts)",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="write the rendered tables to this file instead of stdout",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.experiment == "all":
+        produced: list[ExperimentTable] = []
+        for name in sorted(_EXPERIMENTS):
+            produced.extend(_EXPERIMENTS[name](args.scale))
+    else:
+        produced = _EXPERIMENTS[args.experiment](args.scale)
+
+    text = render_tables(produced)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every experiment returns an :class:`ExperimentTable`: named columns, a list
+of rows, optional caption and notes. The renderer prints fixed-width text
+tables that mirror the layout of the paper's Tables 1–7, so benchmark output
+can be eyeballed against the paper directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentTable", "format_value", "render_tables"]
+
+
+def format_value(value: Any) -> str:
+    """Format one table cell (floats get a compact, stable representation)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """A named table of experiment results."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    caption: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the number of columns)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells but table {self.title!r} has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """A fixed-width text rendering of the table."""
+        headers = [str(c) for c in self.columns]
+        formatted = [[format_value(cell) for cell in row] for row in self.rows]
+        widths = [len(h) for h in headers]
+        for row in formatted:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        if self.caption:
+            lines.append(self.caption)
+        lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in formatted:
+            lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def render_tables(tables: Sequence[ExperimentTable]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n\n".join(table.render() for table in tables)

@@ -1,0 +1,13 @@
+"""QBO-style candidate query generation (the paper's Query Generator module)."""
+
+from repro.qbo.config import QBOConfig
+from repro.qbo.generator import GenerationReport, QueryGenerator
+from repro.qbo.mutation import expand_candidate_set, mutate_candidates
+
+__all__ = [
+    "QBOConfig",
+    "QueryGenerator",
+    "GenerationReport",
+    "mutate_candidates",
+    "expand_candidate_set",
+]

@@ -1,0 +1,210 @@
+"""Candidate atomic predicates ("atoms") for the selection-predicate search.
+
+For every attribute of the joined relation the generator builds a pool of
+candidate :class:`~repro.relational.predicates.Term` objects that *all
+positive rows satisfy* (a necessary condition for a term to appear in a
+single-conjunct predicate) and that *exclude at least one negative row* (a
+term excluding nothing can never help). The conjunction search then combines
+atoms from different attributes.
+
+Numeric attributes yield threshold atoms at the boundary between the positive
+value range and the nearest excluded values; the ``threshold_variants``
+configuration controls how many equivalent-on-D cut points are emitted
+(tightest, midpoint, loosest), which is what makes several *distinct but
+D-equivalent* candidate queries exist — the redundancy QFE is designed to
+winnow. Categorical attributes yield equality / membership atoms over the
+positive value set (and negated forms when enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.qbo.config import QBOConfig
+from repro.relational.join import JoinedRelation
+from repro.relational.predicates import ComparisonOp, Term
+from repro.relational.types import value_sort_key
+
+__all__ = ["Atom", "build_atom_pool"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A candidate term together with the set of rows (positions) it selects."""
+
+    term: Term
+    selected: frozenset
+
+    def excludes(self, positions: Sequence[int]) -> frozenset:
+        """The subset of *positions* this atom's term rejects."""
+        return frozenset(p for p in positions if p not in self.selected)
+
+
+def _column_values(joined: JoinedRelation, attribute: str) -> list[Any]:
+    position = joined.relation.schema.index_of(attribute)
+    return [row.values[position] for row in joined.relation.tuples]
+
+
+def _is_numeric_value(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _selected_rows(values: list[Any], term: Term) -> frozenset:
+    return frozenset(i for i, value in enumerate(values) if term.evaluate_value(value))
+
+
+def _midpoint(low: float, high: float) -> float:
+    middle = (low + high) / 2.0
+    if float(middle).is_integer() and isinstance(low, (int, float)) and isinstance(high, (int, float)):
+        return float(middle)
+    return middle
+
+
+def _numeric_atoms(
+    attribute: str,
+    values: list[Any],
+    positive: Sequence[int],
+    negative: Sequence[int],
+    config: QBOConfig,
+) -> list[Term]:
+    positive_values = [values[i] for i in positive if values[i] is not None]
+    if not positive_values or not all(_is_numeric_value(v) for v in positive_values):
+        return []
+    pos_min = float(min(positive_values))
+    pos_max = float(max(positive_values))
+    negative_values = [
+        float(values[i]) for i in negative if values[i] is not None and _is_numeric_value(values[i])
+    ]
+    # Candidate threshold variants that are equivalent *on this database* are
+    # exactly what QFE winnows later — but only when a value could ever fall
+    # between them. On an integer-valued column, thresholds with no integer in
+    # between are the same query, so emitting both would create permanently
+    # indistinguishable candidates.
+    integer_domain = all(
+        float(v).is_integer() for v in positive_values + negative_values
+    )
+    terms: list[Term] = []
+
+    # Upper-bound atoms: exclude negatives strictly above the positive range.
+    above = sorted(v for v in negative_values if v > pos_max)
+    if above:
+        nearest = above[0]
+        variants = [Term(attribute, ComparisonOp.LE, _clean(pos_max))]
+        gap_has_value = (nearest - pos_max) > 1 if integer_domain else True
+        if config.threshold_variants >= 2 and gap_has_value:
+            # On integer columns the cut sits just above the next representable
+            # value so it stays distinguishable from the tight LE variant.
+            midpoint = pos_max + 1.5 if integer_domain else _midpoint(pos_max, nearest)
+            variants.append(Term(attribute, ComparisonOp.LT, _clean(midpoint)))
+        if config.threshold_variants >= 3 and (
+            (nearest - pos_max) > 2 if integer_domain else True
+        ):
+            variants.append(Term(attribute, ComparisonOp.LT, _clean(nearest)))
+        terms.extend(variants)
+
+    # Lower-bound atoms: exclude negatives strictly below the positive range.
+    below = sorted((v for v in negative_values if v < pos_min), reverse=True)
+    if below:
+        nearest = below[0]
+        variants = [Term(attribute, ComparisonOp.GE, _clean(pos_min))]
+        gap_has_value = (pos_min - nearest) > 1 if integer_domain else True
+        if config.threshold_variants >= 2 and gap_has_value:
+            midpoint = pos_min - 1.5 if integer_domain else _midpoint(nearest, pos_min)
+            variants.append(Term(attribute, ComparisonOp.GT, _clean(midpoint)))
+        if config.threshold_variants >= 3 and (
+            (pos_min - nearest) > 2 if integer_domain else True
+        ):
+            variants.append(Term(attribute, ComparisonOp.GT, _clean(nearest)))
+        terms.extend(variants)
+
+    # Equality atom when all positives share one value.
+    distinct_positive = sorted({float(v) for v in positive_values})
+    if len(distinct_positive) == 1:
+        terms.append(Term(attribute, ComparisonOp.EQ, _clean(distinct_positive[0])))
+    elif config.allow_membership_terms and 1 < len(distinct_positive) <= 6:
+        terms.append(
+            Term(attribute, ComparisonOp.IN, tuple(_clean(v) for v in distinct_positive))
+        )
+    return terms
+
+
+def _clean(value: float) -> Any:
+    if float(value).is_integer():
+        return int(value)
+    return float(value)
+
+
+def _categorical_atoms(
+    attribute: str,
+    values: list[Any],
+    positive: Sequence[int],
+    negative: Sequence[int],
+    config: QBOConfig,
+) -> list[Term]:
+    positive_values = sorted(
+        {values[i] for i in positive if values[i] is not None}, key=value_sort_key
+    )
+    if not positive_values:
+        return []
+    negative_values = sorted(
+        {values[i] for i in negative if values[i] is not None}, key=value_sort_key
+    )
+    terms: list[Term] = []
+    if len(positive_values) == 1:
+        terms.append(Term(attribute, ComparisonOp.EQ, positive_values[0]))
+    elif config.allow_membership_terms and len(positive_values) <= 8:
+        terms.append(Term(attribute, ComparisonOp.IN, tuple(positive_values)))
+    if config.allow_negated_terms and negative_values:
+        excluded = [v for v in negative_values if v not in positive_values]
+        if len(excluded) == 1:
+            terms.append(Term(attribute, ComparisonOp.NE, excluded[0]))
+        elif 1 < len(excluded) <= 8:
+            terms.append(Term(attribute, ComparisonOp.NOT_IN, tuple(excluded)))
+    return terms
+
+
+def build_atom_pool(
+    joined: JoinedRelation,
+    positive: Sequence[int],
+    negative: Sequence[int],
+    config: QBOConfig,
+    *,
+    excluded_attributes: Sequence[str] = (),
+) -> list[Atom]:
+    """Build the pool of candidate atoms for a (join schema, labeling) pair.
+
+    Every returned atom selects all *positive* rows and rejects at least one
+    *negative* row; atoms are deterministically ordered by how many negatives
+    they reject (most useful first) and then by their textual form.
+    """
+    atoms: list[Atom] = []
+    negative_set = list(negative)
+    for attribute in joined.relation.schema.attribute_names:
+        if attribute in excluded_attributes:
+            continue
+        values = _column_values(joined, attribute)
+        candidate_terms: list[Term] = []
+        candidate_terms.extend(_numeric_atoms(attribute, values, positive, negative_set, config))
+        positive_values = [values[i] for i in positive]
+        if not all(_is_numeric_value(v) or v is None for v in positive_values):
+            candidate_terms.extend(
+                _categorical_atoms(attribute, values, positive, negative_set, config)
+            )
+        for term in candidate_terms:
+            selected = _selected_rows(values, term)
+            if not all(p in selected for p in positive):
+                continue
+            if all(n in selected for n in negative_set) and negative_set:
+                continue  # rejects nothing — useless
+            atoms.append(Atom(term, selected))
+
+    unique: dict[tuple, Atom] = {}
+    for atom in atoms:
+        key = (atom.term.attribute, atom.term.op.value, atom.term.constants())
+        unique.setdefault(key, atom)
+    ordered = sorted(
+        unique.values(),
+        key=lambda a: (-len(a.excludes(negative_set)), str(a.term)),
+    )
+    return ordered

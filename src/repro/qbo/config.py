@@ -1,0 +1,122 @@
+"""Configuration of the QBO-style candidate query generator.
+
+Section 4 of the paper: "QBO provides several configuration parameters to
+control the search space for equivalent candidate queries, such as the
+maximum number of selection-predicate attributes, the maximum number of
+joined relations, the maximum number of selection predicates in each
+conjunct, etc."  :class:`QBOConfig` exposes exactly that surface, plus limits
+that keep the pure-Python search bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QBOConfig"]
+
+
+@dataclass(frozen=True)
+class QBOConfig:
+    """Search-space knobs of the candidate query generator.
+
+    Attributes
+    ----------
+    max_join_relations:
+        Maximum number of relations in a candidate query's join schema.
+    max_selection_attributes:
+        Maximum number of *distinct* attributes used in a candidate's
+        selection predicate.
+    max_terms_per_conjunct:
+        Maximum number of terms in each conjunct of the DNF predicate.
+    max_conjuncts:
+        Maximum number of disjuncts (conjuncts) in the DNF predicate.
+    max_candidates:
+        Hard cap on the number of candidate queries returned.
+    max_projection_mappings:
+        Cap on how many distinct projection-column mappings are explored per
+        join schema (result columns can map to several joined columns).
+    threshold_variants:
+        How many alternative numeric cut points are emitted per informative
+        boundary (1 = just the tightest cut, 2 adds the midpoint, 3 also adds
+        the loosest cut). More variants mean more distinguishable candidates
+        for QFE to winnow — exactly the redundancy the paper's Table 6
+        experiment manufactures by mutating constants.
+    allow_membership_terms:
+        Whether ``IN (…)`` terms over categorical attributes are generated.
+    allow_negated_terms:
+        Whether ``!=`` / ``NOT IN`` terms are generated.
+    allow_true_predicate:
+        Whether the unrestricted query (no WHERE clause) is emitted when it
+        already reproduces the example result.
+    include_distinct_variants:
+        Whether set-semantics (``DISTINCT``) variants are emitted when the
+        example result contains no duplicates.
+    match_columns_by_name:
+        Prefer joined columns whose (unqualified) name matches the result
+        column name when inferring the projection.
+    exclude_key_columns:
+        Do not build selection predicates over primary-key or foreign-key
+        columns (surrogate identifiers). Such predicates are rarely what a
+        user means and — because QFE never modifies key columns when
+        generating distinguishing databases — they could never be winnowed.
+    max_search_nodes:
+        Budget on conjunction-search nodes per (join schema, projection) to
+        keep worst-case generation time bounded.
+    """
+
+    max_join_relations: int = 3
+    max_selection_attributes: int = 4
+    max_terms_per_conjunct: int = 4
+    max_conjuncts: int = 2
+    max_candidates: int = 200
+    max_projection_mappings: int = 8
+    threshold_variants: int = 2
+    allow_membership_terms: bool = True
+    allow_negated_terms: bool = False
+    allow_true_predicate: bool = True
+    include_distinct_variants: bool = False
+    match_columns_by_name: bool = True
+    exclude_key_columns: bool = True
+    max_search_nodes: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.max_join_relations < 1:
+            raise ValueError("max_join_relations must be at least 1")
+        if self.max_terms_per_conjunct < 1:
+            raise ValueError("max_terms_per_conjunct must be at least 1")
+        if self.max_conjuncts < 1:
+            raise ValueError("max_conjuncts must be at least 1")
+        if self.max_candidates < 1:
+            raise ValueError("max_candidates must be at least 1")
+        if self.threshold_variants < 1 or self.threshold_variants > 3:
+            raise ValueError("threshold_variants must be 1, 2 or 3")
+
+    @classmethod
+    def exhaustive(cls) -> "QBOConfig":
+        """A configuration that generates as many candidates as practical.
+
+        Mirrors the paper's experimental setup, which "configured QBO to
+        generate as many candidate queries as possible".
+        """
+        return cls(
+            max_join_relations=4,
+            max_selection_attributes=6,
+            max_terms_per_conjunct=6,
+            max_conjuncts=3,
+            max_candidates=500,
+            threshold_variants=3,
+            allow_membership_terms=True,
+            allow_negated_terms=True,
+        )
+
+    @classmethod
+    def conservative(cls) -> "QBOConfig":
+        """A small search space (the paper's footnote 2 recommendation)."""
+        return cls(
+            max_join_relations=2,
+            max_selection_attributes=2,
+            max_terms_per_conjunct=2,
+            max_conjuncts=1,
+            max_candidates=50,
+            threshold_variants=1,
+        )

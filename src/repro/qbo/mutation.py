@@ -1,0 +1,112 @@
+"""Candidate expansion by constant mutation (the paper's Table 6 device).
+
+Section 7.6: "we generated 61 additional candidate queries from the initial
+candidate queries by modifying their selection predicate constants". This
+module reproduces that device: it perturbs numeric constants of existing
+candidates within the slack that keeps the query's result on ``D`` unchanged,
+and swaps categorical equality constants for other values that leave the
+result unchanged, verifying every mutant by exact evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.relational.database import Database
+from repro.relational.evaluator import JoinCache, results_equal
+from repro.relational.predicates import ComparisonOp, Conjunct, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+__all__ = ["mutate_candidates", "expand_candidate_set"]
+
+
+def _numeric_variants(constant: float) -> Iterator[float]:
+    """Nearby numeric constants to try, ordered by distance from the original."""
+    magnitude = max(abs(float(constant)), 1.0)
+    for fraction in (0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5):
+        step = magnitude * fraction
+        yield float(constant) + step
+        yield float(constant) - step
+
+
+def _mutated_terms(term: Term, database: Database, query: SPJQuery) -> Iterator[Term]:
+    if term.op.is_membership:
+        return
+    constant = term.constant
+    if isinstance(constant, bool):
+        return
+    if isinstance(constant, (int, float)):
+        is_integer_domain = isinstance(constant, int)
+        for variant in _numeric_variants(float(constant)):
+            value = int(round(variant)) if is_integer_domain else round(variant, 6)
+            if value != constant:
+                yield term.with_constant(value)
+        return
+    if isinstance(constant, str) and term.op in (ComparisonOp.EQ, ComparisonOp.NE):
+        table, _, column = term.attribute.partition(".")
+        if table in database.relations:
+            for value in database.relation(table).active_domain(column):
+                if isinstance(value, str) and value != constant:
+                    yield term.with_constant(value)
+
+
+def mutate_candidates(
+    database: Database,
+    result: Relation,
+    candidates: Iterable[SPJQuery],
+    *,
+    limit: int,
+    set_semantics: bool = False,
+) -> list[SPJQuery]:
+    """Generate up to *limit* additional result-preserving mutants of *candidates*.
+
+    Each mutant differs from its parent in exactly one selection-predicate
+    constant and still satisfies ``Q(D) = R`` (verified by evaluation).
+    """
+    cache = JoinCache()
+    existing = {query.canonical_key() for query in candidates}
+    mutants: list[SPJQuery] = []
+    for parent in candidates:
+        for conjunct_index, conjunct in enumerate(parent.predicate.conjuncts):
+            for term_index, term in enumerate(conjunct.terms):
+                for mutated_term in _mutated_terms(term, database, parent):
+                    new_terms = list(conjunct.terms)
+                    new_terms[term_index] = mutated_term
+                    new_conjuncts = list(parent.predicate.conjuncts)
+                    new_conjuncts[conjunct_index] = Conjunct(tuple(new_terms))
+                    mutant = parent.with_predicate(DNFPredicate(tuple(new_conjuncts)))
+                    key = mutant.canonical_key()
+                    if key in existing:
+                        continue
+                    produced = cache.evaluate(mutant, database, name=result.schema.name)
+                    if not results_equal(produced, result, set_semantics=set_semantics):
+                        continue
+                    existing.add(key)
+                    mutants.append(mutant)
+                    if len(mutants) >= limit:
+                        return mutants
+    return mutants
+
+
+def expand_candidate_set(
+    database: Database,
+    result: Relation,
+    candidates: list[SPJQuery],
+    target_size: int,
+    *,
+    set_semantics: bool = False,
+) -> list[SPJQuery]:
+    """Grow the candidate list to *target_size* queries by constant mutation.
+
+    Returns the original candidates followed by verified mutants; if not
+    enough result-preserving mutants exist the list may stay shorter than the
+    target.
+    """
+    if len(candidates) >= target_size:
+        return list(candidates[:target_size])
+    needed = target_size - len(candidates)
+    mutants = mutate_candidates(
+        database, result, candidates, limit=needed, set_semantics=set_semantics
+    )
+    return list(candidates) + mutants

@@ -1,0 +1,153 @@
+"""Selection-predicate search: conjunctions and DNF covers over atom pools.
+
+Two entry points:
+
+* :func:`search_conjunctions` — enumerate conjunctions (subsets of the atom
+  pool) that select every positive row and reject every negative row. All
+  valid combinations up to the configured size limits are returned (within a
+  node budget), because *each* of them is a legitimate candidate query that
+  QFE must later tell apart.
+* :func:`search_dnf_covers` — when no single conjunction separates positives
+  from negatives, greedily build a disjunction of conjunctions by sequential
+  covering: each conjunct is anchored on an uncovered positive row, must
+  reject every negative row, and is grown to cover as many positives as
+  possible.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.qbo.atoms import Atom, build_atom_pool
+from repro.qbo.config import QBOConfig
+from repro.relational.join import JoinedRelation
+from repro.relational.predicates import Conjunct, DNFPredicate
+
+__all__ = ["search_conjunctions", "search_dnf_covers"]
+
+
+def _distinct_attributes(atoms: Sequence[Atom]) -> int:
+    return len({atom.term.attribute for atom in atoms})
+
+
+def search_conjunctions(
+    atoms: Sequence[Atom],
+    positive: Sequence[int],
+    negative: Sequence[int],
+    config: QBOConfig,
+) -> list[Conjunct]:
+    """All conjunctions of atoms that keep every positive and drop every negative.
+
+    The atoms are assumed to already select every positive row (that is how
+    :func:`repro.qbo.atoms.build_atom_pool` constructs them), so the search
+    only has to check negative coverage. Combinations are enumerated in
+    increasing size; supersets of an already-valid combination are skipped so
+    the result lists *irredundant* predicates, and the whole search respects
+    ``config.max_search_nodes``.
+    """
+    negative_set = frozenset(negative)
+    if not negative_set:
+        return [Conjunct(())]
+
+    valid: list[Conjunct] = []
+    valid_keys: list[frozenset] = []
+    nodes = 0
+    max_size = min(config.max_terms_per_conjunct, len(atoms))
+    for size in range(1, max_size + 1):
+        for combo in combinations(range(len(atoms)), size):
+            nodes += 1
+            if nodes > config.max_search_nodes:
+                return valid
+            picked = [atoms[i] for i in combo]
+            if _distinct_attributes(picked) > config.max_selection_attributes:
+                continue
+            combo_key = frozenset(combo)
+            if any(existing <= combo_key for existing in valid_keys):
+                continue  # a subset already separates; skip redundant supersets
+            excluded: set[int] = set()
+            for atom in picked:
+                excluded |= set(negative_set) - set(atom.selected)
+            if excluded >= negative_set:
+                valid.append(Conjunct(tuple(atom.term for atom in picked)))
+                valid_keys.append(combo_key)
+    return valid
+
+
+def _grow_conjunct_for_seed(
+    joined: JoinedRelation,
+    seed: int,
+    positives: Sequence[int],
+    negatives: Sequence[int],
+    config: QBOConfig,
+    excluded_attributes: Sequence[str] = (),
+) -> tuple[Conjunct, frozenset] | None:
+    """Learn one conjunct that keeps *seed*, drops all negatives, keeps many positives."""
+    pool = build_atom_pool(
+        joined, [seed], negatives, config, excluded_attributes=excluded_attributes
+    )
+    if not pool:
+        return None
+    remaining_negatives = set(negatives)
+    chosen: list[Atom] = []
+    covered = frozenset(positives)
+    while remaining_negatives and len(chosen) < config.max_terms_per_conjunct:
+        best: tuple[int, int, Atom] | None = None
+        for atom in pool:
+            if atom in chosen:
+                continue
+            newly_excluded = remaining_negatives - set(atom.selected)
+            if not newly_excluded:
+                continue
+            kept_positives = covered & atom.selected
+            key = (len(newly_excluded), len(kept_positives))
+            if best is None or key > (best[0], best[1]):
+                best = (len(newly_excluded), len(kept_positives), atom)
+        if best is None:
+            return None
+        atom = best[2]
+        chosen.append(atom)
+        remaining_negatives -= remaining_negatives - set(atom.selected)
+        covered = covered & atom.selected
+    if remaining_negatives:
+        return None
+    return Conjunct(tuple(atom.term for atom in chosen)), covered
+
+
+def search_dnf_covers(
+    joined: JoinedRelation,
+    positive: Sequence[int],
+    negative: Sequence[int],
+    config: QBOConfig,
+    *,
+    excluded_attributes: Sequence[str] = (),
+) -> list[DNFPredicate]:
+    """Greedy sequential-covering search for multi-conjunct DNF predicates.
+
+    Returns at most one DNF predicate (the greedy cover) — richer enumeration
+    of alternative covers explodes combinatorially and the single cover is
+    enough for the generator to offer a DNF-shaped candidate when no single
+    conjunction reproduces the example result.
+    """
+    uncovered = set(positive)
+    conjuncts: list[Conjunct] = []
+    guard = 0
+    while uncovered and len(conjuncts) < config.max_conjuncts and guard < 10 * len(positive) + 10:
+        guard += 1
+        seed = min(uncovered)
+        learned = _grow_conjunct_for_seed(
+            joined, seed, sorted(uncovered), negative, config, excluded_attributes
+        )
+        if learned is None:
+            return []
+        conjunct, covered = learned
+        newly_covered = uncovered & covered
+        if not newly_covered:
+            newly_covered = {seed} if seed in covered else set()
+            if not newly_covered:
+                return []
+        conjuncts.append(conjunct)
+        uncovered -= newly_covered
+    if uncovered:
+        return []
+    return [DNFPredicate(tuple(conjuncts))]

@@ -1,0 +1,128 @@
+"""CSV import/export for relations and databases.
+
+SQLShare-style workflows start from uploaded CSV files; this module lets the
+examples and tests round-trip relations through CSV with type inference so a
+user can point QFE at their own data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.exceptions import SchemaError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, ForeignKey
+
+__all__ = [
+    "parse_csv_value",
+    "relation_from_csv_text",
+    "relation_from_csv_file",
+    "relation_to_csv_text",
+    "relation_to_csv_file",
+    "database_to_csv_directory",
+    "database_from_csv_directory",
+]
+
+
+def parse_csv_value(text: str) -> Any:
+    """Parse a CSV cell into ``None``, bool, int, float or str (in that order)."""
+    stripped = text.strip()
+    if stripped == "" or stripped.upper() == "NULL":
+        return None
+    lowered = stripped.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    return stripped
+
+
+def relation_from_csv_text(
+    name: str,
+    text: str,
+    *,
+    primary_key: Sequence[str] | None = None,
+) -> Relation:
+    """Build a relation from CSV text whose first row is the header."""
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if not rows:
+        raise SchemaError("CSV input must contain at least a header row")
+    header = [column.strip() for column in rows[0]]
+    data = [[parse_csv_value(cell) for cell in row] for row in rows[1:]]
+    return Relation.from_rows(name, header, data, primary_key=primary_key)
+
+
+def relation_from_csv_file(
+    path: str | Path,
+    *,
+    name: str | None = None,
+    primary_key: Sequence[str] | None = None,
+) -> Relation:
+    """Build a relation from a CSV file (relation name defaults to the file stem)."""
+    path = Path(path)
+    return relation_from_csv_text(
+        name or path.stem, path.read_text(encoding="utf-8"), primary_key=primary_key
+    )
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def relation_to_csv_text(relation: Relation) -> str:
+    """Serialize a relation to CSV text with a header row."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(relation.schema.attribute_names)
+    for row in relation.rows():
+        writer.writerow([_format_cell(value) for value in row])
+    return buffer.getvalue()
+
+
+def relation_to_csv_file(relation: Relation, path: str | Path) -> None:
+    """Write a relation to a CSV file."""
+    Path(path).write_text(relation_to_csv_text(relation), encoding="utf-8")
+
+
+def database_to_csv_directory(database: Database, directory: str | Path) -> None:
+    """Write every relation of the database as ``<table>.csv`` under *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for relation in database:
+        relation_to_csv_file(relation, directory / f"{relation.name}.csv")
+
+
+def database_from_csv_directory(
+    directory: str | Path,
+    *,
+    foreign_keys: Iterable[ForeignKey] = (),
+    primary_keys: Mapping[str, Sequence[str]] | None = None,
+) -> Database:
+    """Load every ``*.csv`` file under *directory* as one relation per file."""
+    directory = Path(directory)
+    primary_keys = primary_keys or {}
+    relations = {}
+    for path in sorted(directory.glob("*.csv")):
+        relation = relation_from_csv_file(path, primary_key=primary_keys.get(path.stem))
+        relations[relation.name] = relation
+    if not relations:
+        raise SchemaError(f"no CSV files found in {directory}")
+    schema = DatabaseSchema([r.schema for r in relations.values()], foreign_keys)
+    return Database(schema, relations)

@@ -1,0 +1,102 @@
+"""Database instances: a schema plus one relation instance per table.
+
+A :class:`Database` is the ``D`` in the paper's ``(D, R)`` database–result
+pair. It supports deep copies (the Database Generator derives each modified
+database ``D'`` from a copy of ``D``), per-relation access, and convenience
+constructors from plain Python rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.exceptions import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, ForeignKey, TableSchema
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A collection of named relation instances plus their schema."""
+
+    def __init__(self, schema: DatabaseSchema, relations: Mapping[str, Relation] | None = None) -> None:
+        self.schema = schema
+        self.relations: dict[str, Relation] = {}
+        provided = dict(relations or {})
+        for table_name, table_schema in schema.tables.items():
+            relation = provided.pop(table_name, None)
+            if relation is None:
+                relation = Relation(table_schema)
+            elif relation.schema != table_schema:
+                raise SchemaError(
+                    f"relation provided for table {table_name!r} does not match the schema"
+                )
+            self.relations[table_name] = relation
+        if provided:
+            raise SchemaError(f"relations {sorted(provided)} are not part of the schema")
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def from_tables(
+        cls,
+        tables: Mapping[str, tuple[Sequence[str], Iterable[Sequence[Any]]]],
+        foreign_keys: Iterable[ForeignKey] = (),
+        *,
+        primary_keys: Mapping[str, Sequence[str]] | None = None,
+    ) -> "Database":
+        """Build a database from ``{table: (columns, rows)}`` with inferred types."""
+        primary_keys = primary_keys or {}
+        relations: dict[str, Relation] = {}
+        schemas: list[TableSchema] = []
+        for name, (columns, rows) in tables.items():
+            relation = Relation.from_rows(
+                name, columns, rows, primary_key=primary_keys.get(name)
+            )
+            relations[name] = relation
+            schemas.append(relation.schema)
+        schema = DatabaseSchema(schemas, foreign_keys)
+        return cls(schema, relations)
+
+    def copy(self) -> "Database":
+        """A deep copy of the database (schema is shared, data is copied)."""
+        return Database(
+            self.schema,
+            {name: relation.copy() for name, relation in self.relations.items()},
+        )
+
+    # ----------------------------------------------------------------- access
+    def relation(self, name: str) -> Relation:
+        """The relation instance for table *name*."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(f"database has no relation {name!r}") from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self):
+        return iter(self.relations.values())
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all tables."""
+        return tuple(self.relations)
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(relation) for relation in self.relations.values())
+
+    def pretty(self, *, max_rows: int | None = 20) -> str:
+        """A text rendering of every relation (for examples)."""
+        return "\n\n".join(
+            relation.pretty(max_rows=max_rows) for relation in self.relations.values()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ", ".join(f"{name}:{len(rel)}" for name, rel in self.relations.items())
+        return f"Database({sizes})"

@@ -1,0 +1,114 @@
+"""Delta presentation: the ``Δ(D, R_i)`` views shown to the user.
+
+Section 2 of the paper: instead of presenting the entire modified database
+``D'`` and the candidate results ``R_1..R_k``, the Result Feedback module
+presents their *differences* from the original pair ``(D, R)``. This module
+builds those differences as structured objects (so programmatic users and the
+simulated-user harness can inspect them) and as readable text blocks (so the
+interactive example scripts can print exactly what a user would see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.database import Database
+from repro.relational.edit import EditScript, min_edit_script, modified_relation_names
+from repro.relational.relation import Relation
+
+__all__ = ["RelationDelta", "DatabaseDelta", "ResultDelta", "database_delta", "result_delta"]
+
+
+@dataclass(frozen=True)
+class RelationDelta:
+    """The edit script from one relation instance to another."""
+
+    relation_name: str
+    script: EditScript
+
+    @property
+    def cost(self) -> int:
+        """The minimum edit cost between the two instances."""
+        return self.script.cost
+
+    def describe(self) -> list[str]:
+        """One line per edit operation."""
+        return self.script.describe()
+
+
+@dataclass(frozen=True)
+class DatabaseDelta:
+    """The differences ``Δ(D, D')`` between the original and a modified database."""
+
+    relation_deltas: tuple[RelationDelta, ...]
+
+    @property
+    def cost(self) -> int:
+        """``minEdit(D, D')``: total edit cost over all modified relations."""
+        return sum(delta.cost for delta in self.relation_deltas)
+
+    @property
+    def modified_relation_count(self) -> int:
+        """The ``n`` of Equation (3): how many relations were modified."""
+        return len(self.relation_deltas)
+
+    @property
+    def modified_tuple_count(self) -> int:
+        """The ``µ`` of Section 3: number of distinct modified/inserted/deleted tuples."""
+        total = 0
+        for delta in self.relation_deltas:
+            rows = set()
+            for op in delta.script.operations:
+                rows.add((op.kind, op.source_row if op.source_row is not None else op.target_row))
+            total += len(rows)
+        return total
+
+    def describe(self) -> list[str]:
+        """Readable lines describing every change, grouped by relation."""
+        lines: list[str] = []
+        for delta in self.relation_deltas:
+            lines.extend(delta.describe())
+        if not lines:
+            lines.append("(no database changes)")
+        return lines
+
+    def pretty(self) -> str:
+        """A text block of the database changes."""
+        return "\n".join(self.describe())
+
+
+@dataclass(frozen=True)
+class ResultDelta:
+    """The differences ``Δ(R, R_i)`` between the original result and a candidate result."""
+
+    script: EditScript
+
+    @property
+    def cost(self) -> int:
+        """``minEdit(R, R_i)``."""
+        return self.script.cost
+
+    def describe(self) -> list[str]:
+        """Readable lines describing the result changes."""
+        lines = self.script.describe()
+        if not lines:
+            lines.append("(result unchanged)")
+        return lines
+
+    def pretty(self) -> str:
+        """A text block of the result changes."""
+        return "\n".join(self.describe())
+
+
+def database_delta(original: Database, modified: Database) -> DatabaseDelta:
+    """Compute ``Δ(D, D')`` as per-relation minimum edit scripts."""
+    deltas = []
+    for name in modified_relation_names(original, modified):
+        script = min_edit_script(original.relation(name), modified.relation(name))
+        deltas.append(RelationDelta(name, script))
+    return DatabaseDelta(tuple(deltas))
+
+
+def result_delta(original: Relation, candidate: Relation) -> ResultDelta:
+    """Compute ``Δ(R, R_i)`` as a minimum edit script between result instances."""
+    return ResultDelta(min_edit_script(original, candidate))

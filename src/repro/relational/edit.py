@@ -1,0 +1,252 @@
+"""The relation edit model of Section 3: edit operations and ``minEdit``.
+
+The paper quantifies the difference between two instances of a relation by
+the minimum cost of transforming one into the other using three operations:
+
+* **E1** — modify one attribute value of a tuple (cost 1);
+* **E2** — insert a new tuple (cost = relation arity);
+* **E3** — delete a tuple (cost = relation arity).
+
+``minEdit(T, T')`` is therefore a minimum-cost assignment problem: each tuple
+of ``T`` is either matched to a tuple of ``T'`` (paying one per differing
+attribute) or deleted; unmatched tuples of ``T'`` are inserted. We solve it
+exactly with the Hungarian algorithm (``scipy.optimize.linear_sum_assignment``)
+on a square cost matrix padded with delete/insert costs.
+
+``minEdit(D, D')`` over whole databases is the sum over modified relations
+(Section 3), and the module also exposes the concrete edit scripts used by
+the Result Feedback module to present ``Δ(D, R_i)`` diffs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation, Tuple
+from repro.relational.types import values_equal
+
+__all__ = [
+    "EditKind",
+    "EditOperation",
+    "EditScript",
+    "tuple_distance",
+    "min_edit_relation",
+    "min_edit_script",
+    "min_edit_database",
+    "modified_relation_names",
+]
+
+
+class EditKind(enum.Enum):
+    """The three edit operations of Section 3."""
+
+    MODIFY = "modify"  # E1
+    INSERT = "insert"  # E2
+    DELETE = "delete"  # E3
+
+
+@dataclass(frozen=True)
+class EditOperation:
+    """One edit step transforming a source relation towards a target relation."""
+
+    kind: EditKind
+    relation: str
+    attribute: str | None = None
+    old_value: Any = None
+    new_value: Any = None
+    source_row: tuple | None = None
+    target_row: tuple | None = None
+    cost: int = 1
+
+    def describe(self) -> str:
+        """A one-line human-readable description (used in delta presentations)."""
+        if self.kind is EditKind.MODIFY:
+            return (
+                f"{self.relation}: change {self.attribute} from "
+                f"{self.old_value!r} to {self.new_value!r} in row {self.source_row!r}"
+            )
+        if self.kind is EditKind.INSERT:
+            return f"{self.relation}: insert row {self.target_row!r}"
+        return f"{self.relation}: delete row {self.source_row!r}"
+
+
+@dataclass(frozen=True)
+class EditScript:
+    """An ordered list of edit operations with its total cost."""
+
+    operations: tuple[EditOperation, ...]
+
+    @property
+    def cost(self) -> int:
+        """The total edit cost (the paper's ``minEdit`` value when minimal)."""
+        return sum(op.cost for op in self.operations)
+
+    @property
+    def modification_count(self) -> int:
+        """Number of E1 (attribute modification) operations."""
+        return sum(1 for op in self.operations if op.kind is EditKind.MODIFY)
+
+    def describe(self) -> list[str]:
+        """Human-readable lines for every operation."""
+        return [op.describe() for op in self.operations]
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+def tuple_distance(left: Tuple | tuple, right: Tuple | tuple) -> int:
+    """Number of attribute positions where the two rows differ (E1 cost)."""
+    left_values = left.values if isinstance(left, Tuple) else tuple(left)
+    right_values = right.values if isinstance(right, Tuple) else tuple(right)
+    if len(left_values) != len(right_values):
+        raise ValueError("tuple_distance requires rows of equal arity")
+    return sum(0 if values_equal(a, b) else 1 for a, b in zip(left_values, right_values))
+
+
+def _assignment(source: Relation, target: Relation) -> tuple[list[tuple[int, int]], list[int], list[int]]:
+    """Solve the minimum-cost matching between source and target tuples.
+
+    Returns ``(matched_pairs, deleted_source_indexes, inserted_target_indexes)``
+    where matched pairs are index pairs into the relations' tuple lists.
+
+    Identical rows are matched greedily at zero cost first (always part of an
+    optimal solution for this cost structure), so the cubic Hungarian step only
+    runs on the usually tiny symmetric difference — QFE's modified databases
+    differ from the original in a handful of tuples.
+    """
+    matched, source_indexes, target_indexes = _match_identical_rows(source, target)
+
+    arity = source.schema.arity
+    source_rows = [source.tuples[i].values for i in source_indexes]
+    target_rows = [target.tuples[j].values for j in target_indexes]
+    n_source, n_target = len(source_rows), len(target_rows)
+    if n_source == 0 and n_target == 0:
+        return matched, [], []
+
+    size = n_source + n_target
+    # Padded square matrix: matching a source row to a "phantom" column means
+    # deleting it (cost = arity); matching a phantom row to a target column
+    # means inserting it (cost = arity); phantom-to-phantom costs nothing.
+    cost = np.zeros((size, size), dtype=float)
+    cost[:n_source, n_target:] = arity
+    cost[n_source:, :n_target] = arity
+    for i, source_row in enumerate(source_rows):
+        for j, target_row in enumerate(target_rows):
+            cost[i, j] = tuple_distance(source_row, target_row)
+    row_indexes, column_indexes = linear_sum_assignment(cost)
+
+    deleted: list[int] = []
+    inserted: list[int] = []
+    for i, j in zip(row_indexes, column_indexes):
+        if i < n_source and j < n_target:
+            # Matching at a cost >= arity is never cheaper than delete+insert,
+            # and delete+insert is the more faithful description of the change.
+            if cost[i, j] >= 2 * arity:
+                deleted.append(source_indexes[i])
+                inserted.append(target_indexes[j])
+            else:
+                matched.append((source_indexes[i], target_indexes[j]))
+        elif i < n_source:
+            deleted.append(source_indexes[i])
+        elif j < n_target:
+            inserted.append(target_indexes[j])
+    return matched, deleted, inserted
+
+
+def _match_identical_rows(
+    source: Relation, target: Relation
+) -> tuple[list[tuple[int, int]], list[int], list[int]]:
+    """Greedily pair up identical rows; return the pairs and the leftover indexes."""
+    target_buckets: dict[tuple, list[int]] = {}
+    for j, row in enumerate(target.tuples):
+        target_buckets.setdefault(Relation._normalize_row(row.values), []).append(j)
+
+    matched: list[tuple[int, int]] = []
+    leftover_source: list[int] = []
+    consumed_targets: set[int] = set()
+    for i, row in enumerate(source.tuples):
+        bucket = target_buckets.get(Relation._normalize_row(row.values))
+        if bucket:
+            j = bucket.pop()
+            matched.append((i, j))
+            consumed_targets.add(j)
+        else:
+            leftover_source.append(i)
+    leftover_target = [j for j in range(len(target.tuples)) if j not in consumed_targets]
+    return matched, leftover_source, leftover_target
+
+
+def min_edit_relation(source: Relation, target: Relation) -> int:
+    """``minEdit(T, T')`` — the minimum edit cost between two relation instances."""
+    return min_edit_script(source, target).cost
+
+
+def min_edit_script(source: Relation, target: Relation) -> EditScript:
+    """A minimum-cost edit script transforming *source* into *target*."""
+    if source.schema.arity != target.schema.arity:
+        raise ValueError("min_edit_script requires relations of equal arity")
+    arity = source.schema.arity
+    matched, deleted, inserted = _assignment(source, target)
+    operations: list[EditOperation] = []
+    attribute_names = source.schema.attribute_names
+    source_tuples = source.tuples
+    target_tuples = target.tuples
+    for i, j in matched:
+        source_row = source_tuples[i].values
+        target_row = target_tuples[j].values
+        for position, (old, new) in enumerate(zip(source_row, target_row)):
+            if not values_equal(old, new):
+                operations.append(
+                    EditOperation(
+                        kind=EditKind.MODIFY,
+                        relation=source.schema.name,
+                        attribute=attribute_names[position],
+                        old_value=old,
+                        new_value=new,
+                        source_row=source_row,
+                        target_row=target_row,
+                        cost=1,
+                    )
+                )
+    for i in deleted:
+        operations.append(
+            EditOperation(
+                kind=EditKind.DELETE,
+                relation=source.schema.name,
+                source_row=source_tuples[i].values,
+                cost=arity,
+            )
+        )
+    for j in inserted:
+        operations.append(
+            EditOperation(
+                kind=EditKind.INSERT,
+                relation=source.schema.name,
+                target_row=target_tuples[j].values,
+                cost=arity,
+            )
+        )
+    return EditScript(tuple(operations))
+
+
+def modified_relation_names(source: Database, target: Database) -> tuple[str, ...]:
+    """Names of relations whose instances differ between the two databases."""
+    names = []
+    for name in source.table_names:
+        if not source.relation(name).bag_equal(target.relation(name)):
+            names.append(name)
+    return tuple(names)
+
+
+def min_edit_database(source: Database, target: Database) -> int:
+    """``minEdit(D, D')`` — sum of per-relation minimum edit costs over modified relations."""
+    total = 0
+    for name in modified_relation_names(source, target):
+        total += min_edit_relation(source.relation(name), target.relation(name))
+    return total

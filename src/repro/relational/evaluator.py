@@ -1,0 +1,169 @@
+"""Query evaluation for SPJ and SPJU queries.
+
+The evaluator executes queries against a :class:`~repro.relational.database.Database`
+by materializing the foreign-key join of the query's tables and then applying
+the selection predicate and the projection. For the QFE inner loops — which
+evaluate many candidate queries over the *same* join — the evaluator also
+accepts a pre-joined :class:`~repro.relational.join.JoinedRelation` so the
+join is computed once per database instance.
+
+Bag semantics (duplicate-preserving) is the default, matching the paper's
+Section 5 assumption; ``distinct=True`` on a query switches to set semantics
+(Section 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.exceptions import UnsupportedQueryError
+from repro.relational.database import Database
+from repro.relational.join import JoinedRelation, foreign_key_join
+from repro.relational.query import SPJQuery, SPJUQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, TableSchema
+
+__all__ = [
+    "evaluate",
+    "evaluate_on_join",
+    "result_schema",
+    "results_equal",
+    "result_fingerprint",
+    "JoinCache",
+]
+
+
+def result_schema(query: SPJQuery, database: Database, *, name: str = "Result") -> TableSchema:
+    """The schema of the query's output relation (qualified projection names)."""
+    attributes: list[Attribute] = []
+    for qualified in query.projection:
+        table, _, column = qualified.partition(".")
+        declared = database.schema.table(table).attribute(column)
+        attributes.append(Attribute(qualified, declared.type, declared.nullable))
+    return TableSchema(name, attributes)
+
+
+def evaluate(query: SPJQuery | SPJUQuery, database: Database, *, name: str = "Result") -> Relation:
+    """Execute *query* on *database* and return its result relation."""
+    if isinstance(query, SPJUQuery):
+        return _evaluate_union(query, database, name=name)
+    query.validate(database.schema)
+    joined = foreign_key_join(database, query.tables)
+    return evaluate_on_join(query, joined, database, name=name)
+
+
+def evaluate_on_join(
+    query: SPJQuery,
+    joined: JoinedRelation,
+    database: Database,
+    *,
+    name: str = "Result",
+) -> Relation:
+    """Execute an SPJ query against a pre-materialized join of its tables.
+
+    The join must cover every table the query references (a superset join is
+    allowed, which is how QFE evaluates all candidates over the single full
+    foreign-key join ``T``).
+    """
+    missing = set(query.tables) - set(joined.tables)
+    if missing:
+        raise UnsupportedQueryError(
+            f"pre-joined relation lacks tables {sorted(missing)} required by the query"
+        )
+    schema = result_schema(query, database, name=name)
+    output = Relation(schema)
+    names = joined.relation.schema.attribute_names
+    projection_positions = [joined.relation.schema.index_of(a) for a in query.projection]
+    predicate = query.predicate
+    seen: set[tuple] = set()
+    for row_tuple in joined.relation.tuples:
+        row = dict(zip(names, row_tuple.values))
+        if not predicate.evaluate_row(row):
+            continue
+        projected = tuple(row_tuple.values[p] for p in projection_positions)
+        if query.distinct:
+            key = _normalize(projected)
+            if key in seen:
+                continue
+            seen.add(key)
+        output.insert(projected)
+    return output
+
+
+def _evaluate_union(query: SPJUQuery, database: Database, *, name: str) -> Relation:
+    query.validate(database.schema)
+    first = evaluate(query.branches[0], database, name=name)
+    output = Relation(first.schema)
+    seen: set[tuple] = set()
+    for branch in query.branches:
+        branch_result = evaluate(branch, database, name=name)
+        for row in branch_result.rows():
+            if query.distinct:
+                key = _normalize(row)
+                if key in seen:
+                    continue
+                seen.add(key)
+            output.insert(row)
+    return output
+
+
+def _normalize(row: Iterable[Any]) -> tuple:
+    return tuple(
+        float(v) if isinstance(v, (int, float)) and not isinstance(v, bool) else v
+        for v in row
+    )
+
+
+def results_equal(left: Relation, right: Relation, *, set_semantics: bool = False) -> bool:
+    """Whether two result relations are equal under bag (default) or set semantics."""
+    if set_semantics:
+        return left.set_equal(right)
+    return left.bag_equal(right)
+
+
+def result_fingerprint(result: Relation, *, set_semantics: bool = False) -> frozenset | tuple:
+    """A hashable fingerprint of a result used to group equivalent candidate queries."""
+    if set_semantics:
+        return result.set_of_rows()
+    return tuple(sorted(result.bag_of_rows().items(), key=lambda item: tuple(map(_sort_key, item[0]))))
+
+
+def _sort_key(value: Any) -> tuple:
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, str(int(value)))
+    if isinstance(value, (int, float)):
+        return (2, f"{float(value):030.10f}")
+    return (3, str(value))
+
+
+class JoinCache:
+    """Caches materialized joins per (database identity, table set).
+
+    QFE evaluates every surviving candidate on each newly generated modified
+    database; candidates share at most a handful of distinct join schemas, so
+    caching the join per database instance removes the dominant recomputation.
+    The cache is keyed on ``id(database)`` and therefore must only be used
+    while the database instance is not mutated (QFE always works on copies).
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[int, tuple[str, ...]], JoinedRelation] = {}
+
+    def join_for(self, database: Database, tables: Iterable[str]) -> JoinedRelation:
+        """Return (and memoize) the foreign-key join of *tables* on *database*."""
+        key = (id(database), tuple(sorted(tables)))
+        if key not in self._cache:
+            self._cache[key] = foreign_key_join(database, list(tables))
+        return self._cache[key]
+
+    def evaluate(self, query: SPJQuery, database: Database, *, name: str = "Result") -> Relation:
+        """Evaluate an SPJ query using the cached join for its table set."""
+        query.validate(database.schema)
+        joined = self.join_for(database, query.tables)
+        return evaluate_on_join(query, joined, database, name=name)
+
+    def clear(self) -> None:
+        """Drop all cached joins."""
+        self._cache.clear()

@@ -1,0 +1,343 @@
+"""Parse the SPJ SQL subset into :class:`~repro.relational.query.SPJQuery` objects.
+
+Supported grammar (case-insensitive keywords)::
+
+    query      := SELECT [DISTINCT] projection FROM source {join} [WHERE expr] [;]
+    projection := '*' | column {',' column}
+    source     := table {',' table}
+    join       := [INNER] JOIN table ON column '=' column {AND column '=' column}
+    expr       := or_expr
+    or_expr    := and_expr {OR and_expr}
+    and_expr   := primary {AND primary}
+    primary    := '(' expr ')' | comparison
+    comparison := column op literal | column [NOT] IN '(' literal {',' literal} ')'
+                | column op column          -- treated as an explicit join condition
+
+The boolean expression is converted to disjunctive normal form, matching the
+paper's candidate query representation. Column-to-column equality comparisons
+are interpreted as join conditions (they must correspond to a declared
+foreign key when a schema is supplied) and are removed from the selection
+predicate, because the engine performs joins along declared foreign keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Sequence
+
+from repro.exceptions import SQLSyntaxError
+from repro.relational.predicates import ComparisonOp, Conjunct, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+from repro.relational.schema import DatabaseSchema, qualify
+from repro.sql.tokenizer import Token, tokenize
+
+__all__ = ["parse_query"]
+
+_OP_FROM_SQL = {
+    "=": ComparisonOp.EQ,
+    "<>": ComparisonOp.NE,
+    "!=": ComparisonOp.NE,
+    "<": ComparisonOp.LT,
+    "<=": ComparisonOp.LE,
+    ">": ComparisonOp.GT,
+    ">=": ComparisonOp.GE,
+}
+
+
+# --------------------------------------------------------------------------- AST
+@dataclass(frozen=True)
+class _Comparison:
+    attribute: str
+    op: ComparisonOp
+    constant: Any
+
+
+@dataclass(frozen=True)
+class _JoinCondition:
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class _And:
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class _Or:
+    parts: tuple
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self._tokens = list(tokens)
+        self._position = 0
+
+    # ------------------------------------------------------------ token utils
+    def _peek(self) -> Token | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of SQL input")
+        self._position += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._advance()
+        if token.kind != "IDENT" or token.upper != keyword:
+            raise SQLSyntaxError(f"expected {keyword}, found {token.text!r}")
+        return token
+
+    def _expect_kind(self, kind: str) -> Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise SQLSyntaxError(f"expected {kind}, found {token.text!r}")
+        return token
+
+    def _match_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "IDENT" and token.upper in keywords:
+            self._position += 1
+            return True
+        return False
+
+    def _peek_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "IDENT" and token.upper in keywords
+
+    # ------------------------------------------------------------- components
+    def parse(self) -> tuple[bool, list[str] | None, list[str], list[_JoinCondition], object | None]:
+        self._expect_keyword("SELECT")
+        distinct = self._match_keyword("DISTINCT")
+        projection = self._parse_projection()
+        self._expect_keyword("FROM")
+        tables, join_conditions = self._parse_from()
+        where_expr = None
+        if self._match_keyword("WHERE"):
+            where_expr = self._parse_or()
+        token = self._peek()
+        if token is not None and token.kind == "SEMI":
+            self._position += 1
+            token = self._peek()
+        if token is not None:
+            raise SQLSyntaxError(f"unexpected trailing token {token.text!r}")
+        return distinct, projection, tables, join_conditions, where_expr
+
+    def _parse_projection(self) -> list[str] | None:
+        token = self._peek()
+        if token is not None and token.kind == "STAR":
+            self._advance()
+            return None
+        columns = [self._parse_column()]
+        while self._peek() is not None and self._peek().kind == "COMMA":
+            self._advance()
+            columns.append(self._parse_column())
+        return columns
+
+    def _parse_column(self) -> str:
+        first = self._expect_kind("IDENT")
+        token = self._peek()
+        if token is not None and token.kind == "DOT":
+            self._advance()
+            second = self._expect_kind("IDENT")
+            return f"{first.text}.{second.text}"
+        return first.text
+
+    def _parse_from(self) -> tuple[list[str], list[_JoinCondition]]:
+        tables = [self._expect_kind("IDENT").text]
+        join_conditions: list[_JoinCondition] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "COMMA":
+                self._advance()
+                tables.append(self._expect_kind("IDENT").text)
+                continue
+            if token.kind == "IDENT" and token.upper in ("JOIN", "INNER"):
+                if token.upper == "INNER":
+                    self._advance()
+                self._expect_keyword("JOIN")
+                tables.append(self._expect_kind("IDENT").text)
+                self._expect_keyword("ON")
+                join_conditions.extend(self._parse_on_conditions())
+                continue
+            break
+        return tables, join_conditions
+
+    def _parse_on_conditions(self) -> list[_JoinCondition]:
+        conditions = [self._parse_single_on()]
+        while self._peek_keyword("AND"):
+            self._advance()
+            conditions.append(self._parse_single_on())
+        return conditions
+
+    def _parse_single_on(self) -> _JoinCondition:
+        left = self._parse_column()
+        op_token = self._expect_kind("OP")
+        if op_token.text != "=":
+            raise SQLSyntaxError("join conditions must be equality comparisons")
+        right = self._parse_column()
+        return _JoinCondition(left, right)
+
+    # -------------------------------------------------------------- predicate
+    def _parse_or(self):
+        parts = [self._parse_and()]
+        while self._match_keyword("OR"):
+            parts.append(self._parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return _Or(tuple(parts))
+
+    def _parse_and(self):
+        parts = [self._parse_primary()]
+        while self._match_keyword("AND"):
+            parts.append(self._parse_primary())
+        if len(parts) == 1:
+            return parts[0]
+        return _And(tuple(parts))
+
+    def _parse_primary(self):
+        token = self._peek()
+        if token is not None and token.kind == "LPAREN":
+            self._advance()
+            inner = self._parse_or()
+            self._expect_kind("RPAREN")
+            return inner
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        attribute = self._parse_column()
+        if self._match_keyword("NOT"):
+            self._expect_keyword("IN")
+            values = self._parse_literal_list()
+            return _Comparison(attribute, ComparisonOp.NOT_IN, tuple(values))
+        if self._match_keyword("IN"):
+            values = self._parse_literal_list()
+            return _Comparison(attribute, ComparisonOp.IN, tuple(values))
+        op_token = self._expect_kind("OP")
+        operator = _OP_FROM_SQL.get(op_token.text)
+        if operator is None:
+            raise SQLSyntaxError(f"unsupported operator {op_token.text!r}")
+        token = self._peek()
+        if token is not None and token.kind == "IDENT" and token.upper not in ("TRUE", "FALSE", "NULL"):
+            right = self._parse_column()
+            if operator is not ComparisonOp.EQ:
+                raise SQLSyntaxError("column-to-column comparisons must use '='")
+            return _JoinCondition(attribute, right)
+        constant = self._parse_literal()
+        return _Comparison(attribute, operator, constant)
+
+    def _parse_literal_list(self) -> list[Any]:
+        self._expect_kind("LPAREN")
+        values = [self._parse_literal()]
+        while self._peek() is not None and self._peek().kind == "COMMA":
+            self._advance()
+            values.append(self._parse_literal())
+        self._expect_kind("RPAREN")
+        return values
+
+    def _parse_literal(self) -> Any:
+        token = self._advance()
+        if token.kind == "STRING":
+            return token.text
+        if token.kind == "NUMBER":
+            text = token.text
+            if any(ch in text for ch in ".eE"):
+                return float(text)
+            return int(text)
+        if token.kind == "IDENT" and token.upper in ("TRUE", "FALSE"):
+            return token.upper == "TRUE"
+        if token.kind == "IDENT" and token.upper == "NULL":
+            return None
+        raise SQLSyntaxError(f"expected a literal, found {token.text!r}")
+
+
+# ------------------------------------------------------------------ DNF rewriting
+def _to_dnf(expr) -> list[list]:
+    """Convert the boolean AST to a list of conjuncts (each a list of leaves)."""
+    if isinstance(expr, (_Comparison, _JoinCondition)):
+        return [[expr]]
+    if isinstance(expr, _And):
+        child_dnfs = [_to_dnf(part) for part in expr.parts]
+        conjuncts: list[list] = []
+        for combination in product(*child_dnfs):
+            merged: list = []
+            for conjunct in combination:
+                merged.extend(conjunct)
+            conjuncts.append(merged)
+        return conjuncts
+    if isinstance(expr, _Or):
+        conjuncts = []
+        for part in expr.parts:
+            conjuncts.extend(_to_dnf(part))
+        return conjuncts
+    raise SQLSyntaxError(f"unsupported expression node {expr!r}")  # pragma: no cover
+
+
+def _qualify_attribute(name: str, tables: Sequence[str], schema: DatabaseSchema | None) -> str:
+    if "." in name:
+        return name
+    if schema is not None:
+        owners = [t for t in tables if schema.table(t).has_attribute(name)]
+        if len(owners) == 1:
+            return qualify(owners[0], name)
+        if not owners:
+            raise SQLSyntaxError(f"column {name!r} does not belong to any referenced table")
+        raise SQLSyntaxError(f"column {name!r} is ambiguous between tables {sorted(owners)}")
+    if len(tables) == 1:
+        return qualify(tables[0], name)
+    raise SQLSyntaxError(
+        f"column {name!r} must be table-qualified when multiple tables are referenced"
+    )
+
+
+def parse_query(sql: str, schema: DatabaseSchema | None = None) -> SPJQuery:
+    """Parse SQL text into an :class:`SPJQuery`.
+
+    When *schema* is given, unqualified column names are resolved against it,
+    ``SELECT *`` expands to all joined columns, and the query is validated.
+    """
+    tokens = tokenize(sql)
+    distinct, projection, tables, explicit_joins, where_expr = _Parser(tokens).parse()
+
+    conjuncts: list[Conjunct] = []
+    join_conditions = list(explicit_joins)
+    if where_expr is not None:
+        dnf = _to_dnf(where_expr)
+        predicate_conjuncts: list[list[Term]] = []
+        for leaves in dnf:
+            terms: list[Term] = []
+            for leaf in leaves:
+                if isinstance(leaf, _JoinCondition):
+                    join_conditions.append(leaf)
+                    continue
+                attribute = _qualify_attribute(leaf.attribute, tables, schema)
+                terms.append(Term(attribute, leaf.op, leaf.constant))
+            predicate_conjuncts.append(terms)
+        # A disjunct that only contained join conditions selects everything.
+        if any(not terms for terms in predicate_conjuncts) and len(predicate_conjuncts) > 1:
+            predicate_conjuncts = [t for t in predicate_conjuncts if t] or [[]]
+        conjuncts = [Conjunct(terms) for terms in predicate_conjuncts if terms]
+        if not conjuncts and any(isinstance(l, _Comparison) for leaves in dnf for l in leaves):
+            conjuncts = []
+
+    if projection is None:
+        if schema is None:
+            raise SQLSyntaxError("SELECT * requires a database schema to expand columns")
+        projection = []
+        for table in tables:
+            projection.extend(schema.table(table).qualified_names())
+    else:
+        projection = [_qualify_attribute(column, tables, schema) for column in projection]
+
+    predicate = DNFPredicate(conjuncts) if conjuncts else DNFPredicate.true()
+    query = SPJQuery(tables, projection, predicate, distinct=distinct)
+    if schema is not None:
+        query.validate(schema)
+    return query

@@ -1,0 +1,136 @@
+"""Render query objects to SQL text.
+
+The generated SQL targets the SQLite dialect (double-quoted identifiers,
+``<>`` inequality). Joins are rendered as explicit ``INNER JOIN ... ON``
+clauses along the schema's foreign keys when a
+:class:`~repro.relational.schema.DatabaseSchema` is provided, and as a
+comma-separated ``FROM`` list with ``WHERE`` join conditions otherwise.
+This is the SQL a QFE user would take away once their target query has been
+identified.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.relational.predicates import ComparisonOp, Conjunct, DNFPredicate, Term
+from repro.relational.query import SPJQuery, SPJUQuery
+from repro.relational.schema import DatabaseSchema, qualify
+
+__all__ = ["render_query", "render_union", "render_predicate", "render_value"]
+
+
+def render_value(value: Any) -> str:
+    """Render a constant as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _render_identifier(name: str) -> str:
+    table, _, column = name.partition(".")
+    if column:
+        return f'"{table}"."{column}"'
+    return f'"{table}"'
+
+
+_OP_SQL = {
+    ComparisonOp.EQ: "=",
+    ComparisonOp.NE: "<>",
+    ComparisonOp.LT: "<",
+    ComparisonOp.LE: "<=",
+    ComparisonOp.GT: ">",
+    ComparisonOp.GE: ">=",
+}
+
+
+def _render_term(term: Term) -> str:
+    identifier = _render_identifier(term.attribute)
+    if term.op is ComparisonOp.IN or term.op is ComparisonOp.NOT_IN:
+        values = ", ".join(render_value(v) for v in term.constant)
+        keyword = "IN" if term.op is ComparisonOp.IN else "NOT IN"
+        return f"{identifier} {keyword} ({values})"
+    return f"{identifier} {_OP_SQL[term.op]} {render_value(term.constant)}"
+
+
+def _render_conjunct(conjunct: Conjunct) -> str:
+    if not conjunct.terms:
+        return "1 = 1"
+    return " AND ".join(_render_term(term) for term in conjunct.terms)
+
+
+def render_predicate(predicate: DNFPredicate) -> str:
+    """Render a DNF predicate as a SQL boolean expression."""
+    if predicate.is_true:
+        return "1 = 1"
+    if len(predicate.conjuncts) == 1:
+        return _render_conjunct(predicate.conjuncts[0])
+    return " OR ".join(f"({_render_conjunct(c)})" for c in predicate.conjuncts)
+
+
+def _render_join_clause(query: SPJQuery, schema: DatabaseSchema | None) -> tuple[str, list[str]]:
+    """Return the FROM clause and any extra WHERE join conditions."""
+    tables = list(query.tables)
+    if len(tables) == 1 or schema is None:
+        from_clause = ", ".join(f'"{t}"' for t in tables)
+        conditions: list[str] = []
+        if schema is None and len(tables) > 1:
+            # Without a schema we cannot know the join columns; the caller is
+            # expected to pass the schema for multi-table queries.
+            conditions = []
+        return from_clause, conditions
+
+    spanning = schema.spanning_foreign_keys(tables)
+    joined = [tables[0]]
+    clause = f'"{tables[0]}"'
+    remaining = list(spanning)
+    while remaining:
+        progressed = False
+        for fk in list(remaining):
+            if fk.child_table in joined and fk.parent_table not in joined:
+                new_table = fk.parent_table
+            elif fk.parent_table in joined and fk.child_table not in joined:
+                new_table = fk.child_table
+            else:
+                continue
+            conditions = " AND ".join(
+                f"{_render_identifier(qualify(fk.child_table, child))} = "
+                f"{_render_identifier(qualify(fk.parent_table, parent))}"
+                for child, parent in fk.column_pairs()
+            )
+            clause += f'\n  INNER JOIN "{new_table}" ON {conditions}'
+            joined.append(new_table)
+            remaining.remove(fk)
+            progressed = True
+            break
+        if not progressed:  # pragma: no cover - schema guarantees connectivity
+            break
+    return clause, []
+
+
+def render_query(query: SPJQuery, schema: DatabaseSchema | None = None) -> str:
+    """Render an SPJ query as a SQL SELECT statement."""
+    select_kind = "SELECT DISTINCT" if query.distinct else "SELECT"
+    projection = ", ".join(_render_identifier(a) for a in query.projection)
+    from_clause, extra_conditions = _render_join_clause(query, schema)
+    lines = [f"{select_kind} {projection}", f"FROM {from_clause}"]
+    where_parts = list(extra_conditions)
+    if not query.predicate.is_true:
+        where_parts.append(render_predicate(query.predicate))
+    if where_parts:
+        lines.append("WHERE " + " AND ".join(where_parts))
+    return "\n".join(lines)
+
+
+def render_union(query: SPJUQuery, schema: DatabaseSchema | None = None) -> str:
+    """Render an SPJU query as a SQL UNION [ALL] of SELECT statements."""
+    keyword = "UNION" if query.distinct else "UNION ALL"
+    rendered = [render_query(branch, schema) for branch in query.branches]
+    return f"\n{keyword}\n".join(rendered)

@@ -1,0 +1,99 @@
+"""A small SQL tokenizer for the SPJ subset understood by the parser.
+
+Supported token kinds: keywords/identifiers (optionally ``"quoted"`` or
+``table.column`` qualified), numeric literals, single-quoted string literals,
+comparison operators, commas, parentheses and the statement-ending semicolon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SQLSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">")
+_PUNCTUATION = {",": "COMMA", "(": "LPAREN", ")": "RPAREN", ";": "SEMI", "*": "STAR", ".": "DOT"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its kind, text and source position."""
+
+    kind: str
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        """The token text upper-cased (for keyword comparison)."""
+        return self.text.upper()
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SQLSyntaxError` on unknown characters."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < length and sql[i + 1] == "-":
+            newline = sql.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = i + 1
+            parts: list[str] = []
+            while True:
+                if end >= length:
+                    raise SQLSyntaxError(f"unterminated string literal at position {i}")
+                if sql[end] == "'":
+                    if end + 1 < length and sql[end + 1] == "'":
+                        parts.append("'")
+                        end += 2
+                        continue
+                    break
+                parts.append(sql[end])
+                end += 1
+            tokens.append(Token("STRING", "".join(parts), i))
+            i = end + 1
+            continue
+        if ch == '"':
+            end = sql.find('"', i + 1)
+            if end < 0:
+                raise SQLSyntaxError(f"unterminated quoted identifier at position {i}")
+            tokens.append(Token("IDENT", sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        matched_operator = next((op for op in _OPERATORS if sql.startswith(op, i)), None)
+        if matched_operator:
+            tokens.append(Token("OP", matched_operator, i))
+            i += len(matched_operator)
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[ch], ch, i))
+            i += 1
+            continue
+        if ch.isdigit() or (ch in "+-" and i + 1 < length and sql[i + 1].isdigit()):
+            end = i + 1
+            while end < length and (sql[end].isdigit() or sql[end] in ".eE+-"):
+                # Stop a trailing +/- that is not part of an exponent.
+                if sql[end] in "+-" and sql[end - 1] not in "eE":
+                    break
+                end += 1
+            tokens.append(Token("NUMBER", sql[i:end], i))
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = i + 1
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            tokens.append(Token("IDENT", sql[i:end], i))
+            i = end
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    return tokens

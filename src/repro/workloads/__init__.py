@@ -1,0 +1,19 @@
+"""Paper workloads: the queries Q1–Q6 and user-study targets with their datasets."""
+
+from repro.workloads.paper_queries import (
+    WORKLOADS,
+    Workload,
+    baseball_queries,
+    build_pair,
+    scientific_queries,
+    workload,
+)
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "workload",
+    "build_pair",
+    "scientific_queries",
+    "baseball_queries",
+]

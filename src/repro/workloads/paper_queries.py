@@ -1,0 +1,187 @@
+"""The paper's workload queries Q1–Q6 and the example pairs they induce.
+
+Section 7.1 lists two real SQLShare queries (Q1, Q2) over the scientific
+database and four synthetic queries (Q3–Q6) over the baseball database. Each
+workload entry bundles the dataset builder, the target query and helpers to
+produce the initial ``(D, R)`` pair used to seed a QFE session.
+
+Column-name note: the baseball archive's ``2B``/``3B`` columns are spelled
+``doubles``/``triples`` in our synthetic schema; the queries below are the
+paper's queries with that renaming applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.datasets import adult, baseball, scientific
+from repro.relational.database import Database
+from repro.relational.evaluator import evaluate
+from repro.relational.predicates import ComparisonOp, Conjunct, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+__all__ = ["Workload", "WORKLOADS", "workload", "build_pair", "scientific_queries", "baseball_queries"]
+
+
+def _q(attribute: str, op: ComparisonOp, constant) -> Term:
+    return Term(attribute, op, constant)
+
+
+# --------------------------------------------------------------- scientific Q1/Q2
+def scientific_queries() -> dict[str, SPJQuery]:
+    """The two real SQLShare queries over the scientific database."""
+    main = scientific.MAIN_TABLE
+    side = scientific.SIDE_TABLE
+    tables = [main, side]
+    projection = [f"{main}.{c}" for c in scientific.MAIN_COLUMNS] + [
+        f"{side}.{c}" for c in scientific.SIDE_COLUMNS
+    ]
+
+    def fc(column: str) -> str:
+        return f"{main}.{column}"
+
+    pvalue_disjunction = [
+        [_q(fc("PValue_Fe"), ComparisonOp.LT, 0.05)],
+        [_q(fc("PValue_P"), ComparisonOp.LT, 0.05)],
+        [_q(fc("PValue_Si"), ComparisonOp.LT, 0.05)],
+        [_q(fc("PValue_Urea"), ComparisonOp.LT, 0.05)],
+    ]
+
+    q1_base = [
+        _q(fc("logFC_Fe"), ComparisonOp.LT, 0.5),
+        _q(fc("logFC_Fe"), ComparisonOp.GT, -0.5),
+        _q(fc("logFC_P"), ComparisonOp.LT, -1),
+        _q(fc("logFC_Si"), ComparisonOp.LT, -1),
+        _q(fc("logFC_Urea"), ComparisonOp.LT, -1),
+    ]
+    q2_base = [
+        _q(fc("logFC_Fe"), ComparisonOp.LT, 1),
+        _q(fc("logFC_P"), ComparisonOp.GT, 1),
+        _q(fc("logFC_Si"), ComparisonOp.GT, 1),
+        _q(fc("logFC_Urea"), ComparisonOp.GT, 1),
+    ]
+
+    def dnf(base: list[Term]) -> DNFPredicate:
+        # (base conjunction) AND (p-value disjunction), expanded to DNF.
+        return DNFPredicate(
+            tuple(Conjunct(tuple(base + disjunct)) for disjunct in pvalue_disjunction)
+        )
+
+    return {
+        "Q1": SPJQuery(tables, projection, dnf(q1_base)),
+        "Q2": SPJQuery(tables, projection, dnf(q2_base)),
+    }
+
+
+# --------------------------------------------------------------- baseball Q3..Q6
+def baseball_queries() -> dict[str, SPJQuery]:
+    """The four synthetic queries over the baseball database (Q3–Q6)."""
+    manager, team, batting = baseball.MANAGER_TABLE, baseball.TEAM_TABLE, baseball.BATTING_TABLE
+    q3 = SPJQuery(
+        [manager, team],
+        [f"{manager}.managerID", f"{team}.year", f"{team}.R"],
+        DNFPredicate.from_terms(
+            [
+                _q(f"{team}.teamID", ComparisonOp.EQ, "CIN"),
+                _q(f"{team}.year", ComparisonOp.GT, 1982),
+                _q(f"{team}.year", ComparisonOp.LE, 1987),
+            ]
+        ),
+    )
+    q4 = SPJQuery(
+        [manager, team, batting],
+        [f"{manager}.managerID", f"{team}.year", f"{batting}.doubles"],
+        DNFPredicate(
+            tuple(
+                Conjunct((_q(f"{batting}.playerID", ComparisonOp.EQ, player),))
+                for player in baseball.Q4_PLAYERS
+            )
+        ),
+    )
+    q5 = SPJQuery(
+        [manager, team, batting],
+        [f"{manager}.managerID", f"{team}.year", f"{batting}.HR"],
+        DNFPredicate.from_terms(
+            [
+                _q(f"{batting}.playerID", ComparisonOp.EQ, baseball.Q5_PLAYER),
+                _q(f"{batting}.HR", ComparisonOp.GT, 1),
+                _q(f"{batting}.doubles", ComparisonOp.LE, 3),
+            ]
+        ),
+    )
+    q6 = SPJQuery(
+        [manager, team, batting],
+        [f"{manager}.managerID", f"{team}.year", f"{batting}.triples"],
+        DNFPredicate(
+            (
+                Conjunct(
+                    (
+                        _q(f"{batting}.playerID", ComparisonOp.EQ, baseball.Q6_PLAYER),
+                        _q(f"{team}.IP", ComparisonOp.GT, 4380),
+                    )
+                ),
+                Conjunct(
+                    (
+                        _q(f"{batting}.playerID", ComparisonOp.EQ, baseball.Q6_PLAYER),
+                        _q(f"{team}.IP", ComparisonOp.LE, 4380),
+                        _q(f"{team}.BBA", ComparisonOp.LE, 485),
+                    )
+                ),
+            )
+        ),
+    )
+    return {"Q3": q3, "Q4": q4, "Q5": q5, "Q6": q6}
+
+
+# ------------------------------------------------------------------ registry
+@dataclass(frozen=True)
+class Workload:
+    """One paper workload: a dataset builder plus a target query."""
+
+    name: str
+    dataset: str
+    build_database: Callable[..., Database]
+    target_query: SPJQuery
+    expected_result_size: int
+
+    def build_pair(self, scale: float = 1.0) -> tuple[Database, Relation]:
+        """Build the database at *scale* and the target query's result on it."""
+        database = self.build_database(scale)
+        result = evaluate(self.target_query, database, name="R")
+        return database, result
+
+
+def _registry() -> dict[str, Workload]:
+    sci = scientific_queries()
+    base = baseball_queries()
+    expected = {"Q1": 1, "Q2": 6, "Q3": 5, "Q4": 14, "Q5": 4, "Q6": 4}
+    workloads: dict[str, Workload] = {}
+    for name, query in sci.items():
+        workloads[name] = Workload(name, "scientific", scientific.build_database, query, expected[name])
+    for name, query in base.items():
+        workloads[name] = Workload(name, "baseball", baseball.build_database, query, expected[name])
+    for index, query in enumerate(adult.user_study_queries(), start=1):
+        workloads[f"U{index}"] = Workload(
+            f"U{index}", "adult", adult.build_database, query, -1
+        )
+    return workloads
+
+
+WORKLOADS: dict[str, Workload] = _registry()
+
+
+def workload(name: str) -> Workload:
+    """Look up a workload by name (``Q1``–``Q6``, ``U1``–``U3``)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
+
+
+def build_pair(name: str, scale: float = 1.0) -> tuple[Database, Relation, SPJQuery]:
+    """Build ``(D, R, target)`` for a named workload at the given scale."""
+    entry = workload(name)
+    database, result = entry.build_pair(scale)
+    return database, result, entry.target_query

@@ -1,0 +1,114 @@
+"""Unit tests for the Section 3 cost model and iteration estimators."""
+
+import math
+
+import pytest
+
+from repro.core.config import IterationEstimator, QFEConfig
+from repro.core.cost_model import (
+    balance_score,
+    cost_of_effect,
+    estimate_iterations,
+    estimate_iterations_naive,
+    estimate_iterations_refined,
+)
+from repro.core.modification import ClassPair, simulate_pair_set
+from repro.core.tuple_class import TupleClassSpace
+from repro.relational.join import full_join
+
+
+class TestBalanceScore:
+    def test_single_group_is_infinite(self):
+        assert balance_score([5]) == float("inf")
+        assert balance_score([]) == float("inf")
+
+    def test_perfectly_balanced_is_zero(self):
+        assert balance_score([3, 3]) == 0.0
+        assert balance_score([2, 2, 2]) == 0.0
+
+    def test_more_balanced_scores_lower(self):
+        assert balance_score([3, 3]) < balance_score([5, 1])
+        assert balance_score([2, 2, 2]) < balance_score([4, 1, 1])
+
+    def test_definition_sigma_over_k(self):
+        sizes = [4, 2]
+        sigma = math.sqrt(((4 - 3) ** 2 + (2 - 3) ** 2) / 2)
+        assert balance_score(sizes) == pytest.approx(sigma / 2)
+
+
+class TestIterationEstimators:
+    def test_naive_is_log2_of_largest(self):
+        assert estimate_iterations_naive([8, 3]) == pytest.approx(3.0)
+        assert estimate_iterations_naive([1, 1]) == 0.0
+
+    def test_refined_matches_paper_structure(self):
+        # largest = 9, x = 2: N1 = floor(9/2) - 1 = 3, remaining = 9 - 6 = 3,
+        # N2 = ceil(log2 3) = 2 -> N = 5
+        assert estimate_iterations_refined([9, 2], 2) == 5.0
+
+    def test_refined_falls_back_without_binary_partition(self):
+        assert estimate_iterations_refined([8, 3], None) == estimate_iterations_naive([8, 3])
+        assert estimate_iterations_refined([8, 3], 0) == estimate_iterations_naive([8, 3])
+
+    def test_refined_never_below_zero(self):
+        assert estimate_iterations_refined([1], 1) == 0.0
+
+    def test_refined_at_least_naive_for_small_x(self):
+        # With x = 1 (the worst useful binary partition), the refined estimate
+        # must not be smaller than the optimistic naive estimate.
+        for largest in (4, 9, 16, 33):
+            assert estimate_iterations_refined([largest, 1], 1) >= estimate_iterations_naive(
+                [largest, 1]
+            )
+
+    def test_dispatch_respects_config(self):
+        naive = QFEConfig(iteration_estimator=IterationEstimator.NAIVE)
+        refined = QFEConfig(iteration_estimator=IterationEstimator.REFINED)
+        assert estimate_iterations([9, 2], naive, most_balanced_binary_x=2) == pytest.approx(
+            estimate_iterations_naive([9, 2])
+        )
+        assert estimate_iterations([9, 2], refined, most_balanced_binary_x=2) == 5.0
+
+
+class TestCostOfEffect:
+    def _effect(self, employee_db, employee_candidates, pair_count=1):
+        space = TupleClassSpace(full_join(employee_db), employee_candidates)
+        pairs = []
+        for source in space.source_tuple_classes():
+            for destination in space.destination_classes(source, 1):
+                pairs.append(ClassPair(source, destination))
+                if len(pairs) == pair_count:
+                    return space, simulate_pair_set(space, pairs, result_arity=1)
+        raise AssertionError("not enough pairs")
+
+    def test_cost_components(self, employee_db, employee_candidates):
+        _, effect = self._effect(employee_db, employee_candidates)
+        cost = cost_of_effect(effect, QFEConfig())
+        assert cost.db_cost == effect.min_edit + 1.0 * len(effect.modified_tables)
+        assert cost.result_cost == effect.estimated_result_cost
+        assert cost.current_cost == cost.db_cost + cost.result_cost
+        assert cost.total == cost.current_cost + cost.residual_cost
+        assert cost.residual_cost >= 0
+
+    def test_beta_scales_db_cost(self, employee_db, employee_candidates):
+        _, effect = self._effect(employee_db, employee_candidates)
+        low = cost_of_effect(effect, QFEConfig(beta=1.0))
+        high = cost_of_effect(effect, QFEConfig(beta=5.0))
+        assert high.db_cost == low.db_cost + 4.0 * len(effect.modified_tables)
+
+    def test_zero_iterations_means_zero_residual(self, employee_db, employee_candidates):
+        space, effect = self._effect(employee_db, employee_candidates)
+        if max(effect.group_sizes) <= 1:
+            cost = cost_of_effect(effect, QFEConfig())
+            assert cost.residual_cost == 0.0
+
+    def test_residual_grows_with_estimated_iterations(self, employee_db, employee_candidates):
+        _, effect = self._effect(employee_db, employee_candidates)
+        naive = cost_of_effect(
+            effect, QFEConfig(iteration_estimator=IterationEstimator.NAIVE)
+        )
+        assert naive.residual_cost == pytest.approx(
+            naive.estimated_iterations
+            * (effect.min_edit / max(len(effect.pairs), 1) + 1.0
+               + 2.0 * effect.estimated_result_cost / max(effect.group_count, 1))
+        )

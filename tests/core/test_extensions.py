@@ -1,0 +1,109 @@
+"""Unit tests for the Section 6 extensions (join-schema groups, set semantics)."""
+
+from repro.core.config import QFEConfig
+from repro.core.extensions import GroupedSessionResult, group_by_join_schema, run_grouped_session
+from repro.core.feedback import OracleSelector
+from repro.relational.evaluator import evaluate
+from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+
+def _emp_query(terms, projection=("Emp.ename",), tables=("Emp",)):
+    return SPJQuery(list(tables), list(projection), DNFPredicate.from_terms(terms))
+
+
+class TestGroupByJoinSchema:
+    def test_groups_by_table_set(self, two_table_db):
+        single = _emp_query([Term("Emp.salary", ComparisonOp.GT, 60)])
+        joined = _emp_query(
+            [Term("Dept.budget", ComparisonOp.GE, 80)], tables=("Emp", "Dept")
+        )
+        groups = group_by_join_schema([single, joined, single.with_predicate(
+            DNFPredicate.from_terms([Term("Emp.salary", ComparisonOp.GE, 65)])
+        )])
+        assert len(groups) == 2
+        assert len(groups[0]) == 2  # larger group first
+        assert len(groups[1]) == 1
+
+    def test_join_order_does_not_split_groups(self):
+        a = SPJQuery(["A", "B"], ["A.x"])
+        b = SPJQuery(["B", "A"], ["A.x"])
+        assert len(group_by_join_schema([a, b])) == 1
+
+
+class TestGroupedSession:
+    def test_identifies_target_across_groups(self, two_table_db):
+        target = _emp_query([Term("Emp.salary", ComparisonOp.GT, 60)])
+        other_schema = SPJQuery(
+            ["Emp", "Dept"], ["Emp.ename"],
+            DNFPredicate.from_terms([Term("Dept.budget", ComparisonOp.GE, 60)]),
+        )
+        same_schema_variant = _emp_query([Term("Emp.salary", ComparisonOp.GE, 65)])
+        candidates = [target, same_schema_variant, other_schema]
+        result = evaluate(target, two_table_db, name="R")
+        outcome = run_grouped_session(
+            two_table_db, result, candidates,
+            selector_factory=lambda group: OracleSelector(target),
+            config=QFEConfig(delta_seconds=0.2),
+        )
+        assert isinstance(outcome, GroupedSessionResult)
+        assert outcome.converged
+        assert outcome.identified_query == target
+        assert outcome.groups_processed >= 1
+
+    def test_single_query_group_accepted_immediately(self, two_table_db):
+        lone = _emp_query([Term("Emp.salary", ComparisonOp.GT, 60)])
+        result = evaluate(lone, two_table_db, name="R")
+        outcome = run_grouped_session(
+            two_table_db, result, [lone],
+            selector_factory=lambda group: OracleSelector(lone),
+        )
+        assert outcome.converged
+        assert outcome.total_iterations == 0
+
+    def test_accept_group_callback_can_reject(self, two_table_db):
+        first = _emp_query([Term("Emp.salary", ComparisonOp.GT, 60)])
+        second = SPJQuery(
+            ["Emp", "Dept"], ["Emp.ename"],
+            DNFPredicate.from_terms([Term("Dept.budget", ComparisonOp.GE, 60)]),
+        )
+        result = evaluate(first, two_table_db, name="R")
+        seen = []
+        outcome = run_grouped_session(
+            two_table_db, result, [first, second],
+            selector_factory=lambda group: OracleSelector(first),
+            accept_group=lambda query: seen.append(query) or False,
+        )
+        # every group was offered, none accepted
+        assert not outcome.converged
+        assert outcome.groups_processed == 2
+        assert len(seen) >= 1
+
+
+class TestSetSemantics:
+    def test_set_semantics_session(self, two_table_db):
+        # Two candidates that differ only in duplicates on the original data;
+        # under set semantics they are indistinguishable there, and QFE must
+        # distinguish them by inserting a *new* value into one of the results
+        # (the paper's Section 6.1 second approach).
+        q_gender = SPJQuery(
+            ["Emp", "Dept"], ["Dept.dname"],
+            DNFPredicate.from_terms([Term("Emp.salary", ComparisonOp.GE, 60)]), distinct=True,
+        )
+        q_budget = SPJQuery(
+            ["Emp", "Dept"], ["Dept.dname"],
+            DNFPredicate.from_terms([Term("Dept.budget", ComparisonOp.GE, 80)]), distinct=True,
+        )
+        result = evaluate(q_gender, two_table_db, name="R")
+        assert result.set_equal(evaluate(q_budget, two_table_db, name="R"))
+        from repro.core.session import QFESession
+
+        session = QFESession(
+            two_table_db, result, candidates=[q_gender, q_budget],
+            config=QFEConfig(set_semantics=True, delta_seconds=0.2),
+        )
+        outcome = session.run(OracleSelector(q_budget, set_semantics=True))
+        assert outcome.converged or outcome.exhausted
+        if outcome.converged:
+            assert outcome.identified_query == q_budget

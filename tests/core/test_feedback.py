@@ -1,0 +1,92 @@
+"""Unit tests for the Result Feedback presentation and selectors."""
+
+import pytest
+
+from repro.core.feedback import (
+    NONE_OF_THE_ABOVE,
+    CallbackSelector,
+    OracleSelector,
+    ScriptedSelector,
+    WorstCaseSelector,
+    build_feedback_round,
+)
+from repro.core.partitioner import partition_queries
+from repro.exceptions import FeedbackError
+
+
+@pytest.fixture()
+def modified_round(employee_db, employee_result, employee_candidates):
+    modified = employee_db.copy()
+    modified.relation("Employee").update_value(1, "salary", 3900)
+    partition = partition_queries(employee_candidates, modified)
+    round_ = build_feedback_round(1, employee_db, employee_result, modified, partition)
+    return round_, partition
+
+
+class TestFeedbackRound:
+    def test_round_structure(self, modified_round):
+        round_, partition = modified_round
+        assert round_.iteration == 1
+        assert round_.option_count == partition.group_count
+        assert round_.database_delta.cost == 1
+        assert sum(option.query_count for option in round_.options) == 3
+
+    def test_option_deltas_reflect_result_changes(self, modified_round):
+        round_, _ = modified_round
+        costs = sorted(option.delta.cost for option in round_.options)
+        # one option keeps the original result (cost 0), the other drops Bob (cost 1)
+        assert costs == [0, 1]
+
+    def test_pretty_mentions_changes(self, modified_round):
+        round_, _ = modified_round
+        text = round_.pretty()
+        assert "Iteration 1" in text
+        assert "salary" in text
+        assert "Result option" in text
+
+
+class TestSelectors:
+    def test_worst_case_picks_largest(self, modified_round):
+        round_, partition = modified_round
+        choice = WorstCaseSelector().select(round_, partition)
+        assert round_.options[choice].query_count == max(o.query_count for o in round_.options)
+
+    def test_oracle_picks_target_group(self, modified_round, employee_candidates):
+        round_, partition = modified_round
+        target = employee_candidates[1]  # salary > 4000
+        choice = OracleSelector(target).select(round_, partition)
+        chosen_group = partition.groups[choice]
+        assert target in chosen_group.queries
+
+    def test_oracle_rejects_when_no_option_matches(self, employee_db, employee_result,
+                                                   employee_candidates):
+        # present a partition built from only two candidates; the oracle's
+        # target produces a different result on the modified database
+        modified = employee_db.copy()
+        modified.relation("Employee").update_value(1, "salary", 3900)
+        partition = partition_queries(employee_candidates[:1], modified)
+        round_ = build_feedback_round(1, employee_db, employee_result, modified, partition)
+        target = employee_candidates[1]
+        assert OracleSelector(target).select(round_, partition) == NONE_OF_THE_ABOVE
+
+    def test_callback_selector(self, modified_round):
+        round_, partition = modified_round
+        selector = CallbackSelector(lambda r, p: r.option_count - 1)
+        assert selector.select(round_, partition) == round_.option_count - 1
+
+    def test_scripted_selector_replays_choices(self, modified_round):
+        round_, partition = modified_round
+        selector = ScriptedSelector([1, 0])
+        assert selector.select(round_, partition) == 1
+        assert selector.select(round_, partition) == 0
+        with pytest.raises(FeedbackError):
+            selector.select(round_, partition)
+
+    def test_scripted_selector_validates_range(self, modified_round):
+        round_, partition = modified_round
+        with pytest.raises(FeedbackError):
+            ScriptedSelector([99]).select(round_, partition)
+
+    def test_scripted_selector_allows_rejection(self, modified_round):
+        round_, partition = modified_round
+        assert ScriptedSelector([NONE_OF_THE_ABOVE]).select(round_, partition) == NONE_OF_THE_ABOVE

@@ -1,0 +1,104 @@
+"""Unit tests for materializing class pairs into concrete databases."""
+
+import pytest
+
+from repro.core.config import QFEConfig
+from repro.core.materialize import materialize_pairs
+from repro.core.modification import ClassPair
+from repro.core.skyline import skyline_stc_dtc_pairs
+from repro.core.tuple_class import TupleClassSpace
+from repro.relational.constraints import modification_is_valid
+from repro.relational.edit import min_edit_database
+from repro.relational.join import full_join
+from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+
+
+@pytest.fixture()
+def employee_space(employee_db, employee_candidates):
+    return TupleClassSpace(full_join(employee_db), employee_candidates)
+
+
+def _skyline_pairs(space):
+    return skyline_stc_dtc_pairs(space, QFEConfig(), result_arity=1).pairs
+
+
+class TestMaterialization:
+    def test_original_database_untouched(self, employee_db, employee_space):
+        pairs = _skyline_pairs(employee_space)[:1]
+        before = [tuple(row.values) for row in employee_db.relation("Employee").tuples]
+        materialize_pairs(employee_space, pairs, employee_db, QFEConfig())
+        after = [tuple(row.values) for row in employee_db.relation("Employee").tuples]
+        assert before == after
+
+    def test_modified_database_differs(self, employee_db, employee_space):
+        pairs = _skyline_pairs(employee_space)[:1]
+        result = materialize_pairs(employee_space, pairs, employee_db, QFEConfig())
+        assert result.applied
+        assert min_edit_database(employee_db, result.database) >= 1
+
+    def test_applied_modifications_match_pair_edit_cost(self, employee_db, employee_space):
+        pairs = _skyline_pairs(employee_space)[:1]
+        result = materialize_pairs(employee_space, pairs, employee_db, QFEConfig())
+        assert result.modification_count == pairs[0].edit_cost
+        assert result.modified_tuple_count == 1
+        assert result.modified_relation_count == 1
+
+    def test_modified_row_moves_to_destination_class(self, employee_db, employee_space):
+        pairs = _skyline_pairs(employee_space)[:1]
+        result = materialize_pairs(employee_space, pairs, employee_db, QFEConfig())
+        modification = result.applied[0]
+        new_space = TupleClassSpace(full_join(result.database), list(employee_space.queries))
+        # the joined row built from the modified base tuple must now evaluate
+        # each query the same way the destination class does
+        joined = new_space.joined
+        positions = joined.joined_positions_of(modification.table, modification.tuple_id)
+        assert positions
+        for query_index in range(len(employee_space.queries)):
+            expected = employee_space.matches(query_index, pairs[0].destination)
+            row = joined.rows_as_mappings()[positions[0]]
+            assert employee_space.queries[query_index].predicate.evaluate_row(row) == expected
+
+    def test_constraints_preserved(self, employee_db, employee_space):
+        pairs = _skyline_pairs(employee_space)[:3]
+        result = materialize_pairs(employee_space, pairs, employee_db, QFEConfig())
+        assert modification_is_valid(result.database)
+
+    def test_protected_key_columns_skipped(self, employee_db):
+        # a candidate set whose only selection attribute is the primary key
+        queries = [
+            SPJQuery(["Employee"], ["Employee.name"],
+                     DNFPredicate.from_terms([Term("Employee.Eid", ComparisonOp.LE, 2)])),
+            SPJQuery(["Employee"], ["Employee.name"],
+                     DNFPredicate.from_terms([Term("Employee.Eid", ComparisonOp.IN, (1, 2))])),
+        ]
+        space = TupleClassSpace(full_join(employee_db), queries)
+        pairs = [
+            ClassPair(source, destination)
+            for source in space.source_tuple_classes()
+            for destination in space.destination_classes(source, 1)
+        ][:2]
+        result = materialize_pairs(space, pairs, employee_db, QFEConfig())
+        assert not result.applied
+        assert len(result.skipped_pairs) == len(pairs)
+        permissive = materialize_pairs(
+            space, pairs, employee_db, QFEConfig(protect_key_columns=False)
+        )
+        assert permissive.applied  # uniqueness is still preserved by the value choice
+        assert modification_is_valid(permissive.database)
+
+    def test_side_effect_preference(self, baseball_db):
+        # Team attributes fan out to many joined rows through Batting; the
+        # materializer prefers base tuples with fanout 1 when possible, and
+        # records side effects when not.
+        queries = [
+            SPJQuery(["Manager", "Team", "Batting"], ["Manager.managerID"],
+                     DNFPredicate.from_terms([Term("Batting.HR", ComparisonOp.GT, 20)])),
+            SPJQuery(["Manager", "Team", "Batting"], ["Manager.managerID"],
+                     DNFPredicate.from_terms([Term("Batting.AB", ComparisonOp.GT, 300)])),
+        ]
+        space = TupleClassSpace(full_join(baseball_db), queries)
+        pairs = _skyline_pairs(space)[:1]
+        result = materialize_pairs(space, pairs, baseball_db, QFEConfig())
+        assert result.applied
+        assert result.side_effect_count == 0

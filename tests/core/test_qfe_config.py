@@ -1,0 +1,75 @@
+"""Unit tests for QFEConfig and the alternative cost objective."""
+
+import pytest
+
+from repro.core.alternative_cost import max_partitions_score
+from repro.core.config import IterationEstimator, QFEConfig
+from repro.core.cost_model import cost_of_effect
+from repro.core.modification import simulate_pair_set, ClassPair
+from repro.core.tuple_class import TupleClassSpace
+from repro.relational.join import full_join
+
+
+class TestQFEConfig:
+    def test_defaults_match_paper(self):
+        config = QFEConfig()
+        assert config.beta == 1.0
+        assert config.delta_seconds == 1.0
+        assert config.iteration_estimator is IterationEstimator.REFINED
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beta": -1},
+            {"delta_seconds": 0},
+            {"max_iterations": 0},
+            {"max_skyline_pairs": 0},
+            {"max_subset_size": 0},
+            {"growth_pool_size": 0},
+            {"max_sets_per_level": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            QFEConfig(**kwargs)
+
+    def test_with_overrides(self):
+        config = QFEConfig().with_overrides(beta=3.0, delta_seconds=0.5)
+        assert config.beta == 3.0
+        assert config.delta_seconds == 0.5
+        assert config.max_iterations == QFEConfig().max_iterations
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            QFEConfig().beta = 2.0  # type: ignore[misc]
+
+
+class TestMaxPartitionsScore:
+    def test_prefers_more_groups(self, employee_db, employee_candidates):
+        space = TupleClassSpace(full_join(employee_db), employee_candidates)
+        effects = []
+        for source in space.source_tuple_classes():
+            for destination in space.destination_classes(source, 1):
+                effects.append(simulate_pair_set(space, [ClassPair(source, destination)],
+                                                 result_arity=1))
+        split = [e for e in effects if e.partitions_queries]
+        assert split
+        config = QFEConfig()
+        scored = sorted(split, key=lambda e: max_partitions_score(e, cost_of_effect(e, config)))
+        assert scored[0].group_count == max(e.group_count for e in split)
+
+    def test_tie_break_by_largest_group(self, employee_db, employee_candidates):
+        space = TupleClassSpace(full_join(employee_db), employee_candidates)
+        effects = []
+        for source in space.source_tuple_classes():
+            for destination in space.destination_classes(source, 1):
+                effects.append(simulate_pair_set(space, [ClassPair(source, destination)],
+                                                 result_arity=1))
+        config = QFEConfig()
+        same_group_count = [e for e in effects if e.group_count == 2]
+        if len(same_group_count) >= 2:
+            ranked = sorted(
+                same_group_count,
+                key=lambda e: max_partitions_score(e, cost_of_effect(e, config)),
+            )
+            assert max(ranked[0].group_sizes) <= max(ranked[-1].group_sizes)

@@ -1,0 +1,64 @@
+"""Unit tests for Algorithm 3 (Skyline-STC-DTC-Pairs)."""
+
+import pytest
+
+from repro.core.config import QFEConfig
+from repro.core.modification import PairSetSimulator, simulate_pair_set
+from repro.core.skyline import skyline_stc_dtc_pairs
+from repro.core.tuple_class import TupleClassSpace
+from repro.relational.join import full_join
+
+
+@pytest.fixture()
+def employee_space(employee_db, employee_candidates):
+    return TupleClassSpace(full_join(employee_db), employee_candidates)
+
+
+class TestSkyline:
+    def test_finds_distinguishing_pairs(self, employee_space):
+        result = skyline_stc_dtc_pairs(employee_space, QFEConfig(), result_arity=1)
+        assert result.pair_count >= 1
+        assert result.enumerated_pairs >= result.pair_count
+        assert result.elapsed_seconds >= 0
+
+    def test_pairs_have_minimum_balance(self, employee_space):
+        result = skyline_stc_dtc_pairs(employee_space, QFEConfig(), result_arity=1)
+        best = min(result.pair_balances.values())
+        for pair in result.pairs:
+            effect = simulate_pair_set(employee_space, [pair], result_arity=1)
+            assert effect.balance == pytest.approx(result.pair_balances[pair])
+        assert best < float("inf")
+
+    def test_all_returned_pairs_distinguish(self, employee_space):
+        result = skyline_stc_dtc_pairs(employee_space, QFEConfig(), result_arity=1)
+        for pair in result.pairs:
+            effect = simulate_pair_set(employee_space, [pair], result_arity=1)
+            assert effect.partitions_queries
+
+    def test_source_and_destination_differ(self, employee_space):
+        result = skyline_stc_dtc_pairs(employee_space, QFEConfig(), result_arity=1)
+        for pair in result.pairs:
+            assert pair.source != pair.destination
+            assert pair.edit_cost >= 1
+
+    def test_pair_cap_respected(self, employee_space):
+        config = QFEConfig(max_skyline_pairs=2)
+        result = skyline_stc_dtc_pairs(employee_space, config, result_arity=1)
+        assert result.pair_count <= 2
+
+    def test_time_budget_truncates(self, employee_space):
+        config = QFEConfig(delta_seconds=1e-6)
+        result = skyline_stc_dtc_pairs(employee_space, config, result_arity=1)
+        # With an (effectively) zero budget the enumeration stops early but
+        # still returns whatever it found so far without crashing.
+        assert result.truncated_by_time or result.pair_count >= 0
+
+    def test_most_balanced_binary_x(self, employee_space, employee_candidates):
+        result = skyline_stc_dtc_pairs(employee_space, QFEConfig(), result_arity=1)
+        if result.most_balanced_binary_x is not None:
+            assert 1 <= result.most_balanced_binary_x <= len(employee_candidates) // 2
+
+    def test_shared_simulator_is_used(self, employee_space):
+        simulator = PairSetSimulator(employee_space, result_arity=1)
+        skyline_stc_dtc_pairs(employee_space, QFEConfig(), result_arity=1, simulator=simulator)
+        assert len(simulator._pair_cache) > 0

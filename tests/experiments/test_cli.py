@@ -1,0 +1,28 @@
+"""Tests for the qfe-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestCLI:
+    def test_list_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output and "user-study" in output
+
+    def test_parser_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["not-an-experiment"])
+
+    def test_run_single_table_to_stdout(self, capsys):
+        assert main(["table5", "--scale", "0.03"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 5" in output
+
+    def test_run_table_to_file(self, tmp_path, capsys):
+        output_file = tmp_path / "out.txt"
+        assert main(["table7", "--scale", "0.03", "--output", str(output_file)]) == 0
+        assert "Table 7" in output_file.read_text()
+        assert capsys.readouterr().out == ""

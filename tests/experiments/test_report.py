@@ -1,0 +1,53 @@
+"""Unit tests for the experiment table rendering."""
+
+import pytest
+
+from repro.experiments.report import ExperimentTable, format_value, render_tables
+
+
+class TestFormatValue:
+    def test_none_and_bool(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_precision(self):
+        assert format_value(0.0) == "0"
+        assert format_value(123.456) == "123"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(0.01234) == "0.0123"
+
+    def test_strings_and_ints(self):
+        assert format_value(7) == "7"
+        assert format_value("abc") == "abc"
+
+
+class TestExperimentTable:
+    def test_add_row_validates_width(self):
+        table = ExperimentTable("T", ["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_as_dicts_and_column(self):
+        table = ExperimentTable("T", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.as_dicts() == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        assert table.column("b") == ["x", "y"]
+
+    def test_render_contains_all_cells(self):
+        table = ExperimentTable("Title", ["col1", "col2"], caption="cap")
+        table.add_row(10, "value")
+        table.notes.append("a note")
+        text = table.render()
+        assert "Title" in text and "cap" in text
+        assert "col1" in text and "value" in text
+        assert "note: a note" in text
+
+    def test_render_tables_joins_blocks(self):
+        first = ExperimentTable("A", ["x"])
+        second = ExperimentTable("B", ["y"])
+        combined = render_tables([first, second])
+        assert "A" in combined and "B" in combined
+        assert "\n\n" in combined

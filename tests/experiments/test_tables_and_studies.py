@@ -1,0 +1,119 @@
+"""Integration tests for the Section 7 table/studies regeneration (tiny scale).
+
+These tests check the *structure* and the paper-shape invariants of every
+regenerated table; the benchmark suite regenerates them at a larger scale.
+"""
+
+import pytest
+
+from repro.experiments import studies, tables
+from repro.experiments.report import ExperimentTable
+
+_SCALE = 0.03
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return tables.table1(_SCALE)
+
+
+class TestTable1:
+    def test_two_tables_returned(self, table1_result):
+        assert len(table1_result) == 2
+        assert all(isinstance(t, ExperimentTable) for t in table1_result)
+
+    def test_columns_match_paper(self, table1_result):
+        assert "dbCost" in table1_result[0].columns
+        assert "# of skyline pairs" in table1_result[0].columns
+
+    def test_candidate_counts_decrease(self, table1_result):
+        for table in table1_result:
+            counts = table.column("# of queries")
+            assert counts == sorted(counts, reverse=True)
+
+    def test_subset_counts_at_least_two(self, table1_result):
+        for table in table1_result:
+            assert all(k >= 2 for k in table.column("# of query subsets"))
+
+    def test_renders(self, table1_result):
+        for table in table1_result:
+            assert "Iteration" in table.render()
+
+
+class TestTable2:
+    def test_structure_and_shape(self):
+        table = tables.table2(_SCALE, betas=(1, 3), workloads=("Q5",))
+        assert table.column("Query") == ["Q5"]
+        row = table.as_dicts()[0]
+        # β has little effect on iterations (the paper's finding): allow a
+        # difference of at most 2 rounds between the extremes.
+        assert abs(row["iters β=1"] - row["iters β=3"]) <= 2
+
+
+class TestTable3:
+    def test_delta_sweep(self):
+        result = tables.table3(_SCALE, deltas=(0.05, 0.2), workloads=("Q2",))
+        assert len(result) == 1
+        table = result[0]
+        assert table.column("δ (s)") == [0.05, 0.2]
+        assert all(iterations >= 1 for iterations in table.column("# of iterations"))
+
+
+class TestTable4:
+    def test_alg4_times_recorded(self):
+        table = tables.table4(_SCALE)
+        assert set(table.column("Query")) <= {"Q1", "Q2"}
+        assert all(t >= 0 for t in table.column("Alg. 4 time (ms)"))
+        assert all(sp >= 1 for sp in table.column("# of skyline pairs"))
+
+
+class TestTable5:
+    def test_runtime_grows_with_sp(self):
+        table = tables.table5(_SCALE, pair_counts=(10, 40))
+        sizes = table.column("# of skyline pairs")
+        times = table.column("Exec. time (s)")
+        assert sizes == sorted(sizes)
+        assert times[-1] >= times[0] * 0.5  # larger |SP| is never dramatically faster
+        assert all(k >= 2 for k in table.column("chosen k"))
+
+
+class TestTable6:
+    def test_iterations_grow_with_candidates(self):
+        table = tables.table6(_SCALE, candidate_counts=(5, 15))
+        candidates = table.column("# of candidate queries")
+        iterations = table.column("# of iterations")
+        assert candidates[0] < candidates[-1]
+        assert iterations[-1] >= iterations[0]
+
+
+class TestTable7:
+    def test_breakdown_sums(self):
+        table = tables.table7(_SCALE, candidate_counts=(5, 10))
+        for row in table.as_dicts():
+            assert row["Total"] == pytest.approx(
+                row["Algorithm 3"] + row["Algorithm 4"] + row["Modify DB"], rel=0.05, abs=0.01
+            )
+
+
+class TestStudies:
+    def test_initial_pair_size_study(self):
+        table = studies.initial_pair_size_study(_SCALE, fractions=(0.5, 1.0))
+        assert len(table.rows) == 2
+        sizes = table.column("DB tuples")
+        assert sizes[0] <= sizes[1]
+
+    def test_entropy_study(self):
+        table = studies.entropy_study(_SCALE, distinct_fractions=(1.0, 0.4))
+        distinct = table.column("# distinct values")
+        assert distinct[0] >= distinct[1]
+
+    def test_user_study_shape(self):
+        table = studies.user_study(0.02, participants=1)
+        rows = table.as_dicts()
+        # 3 targets x 1 participant x 2 approaches
+        assert len(rows) == 6
+        assert all(row["Identified"] for row in rows)
+        approaches = {row["Approach"] for row in rows}
+        assert approaches == {"QFE", "max-subsets"}
+        # user time dominates machine time, as in the paper
+        assert all(row["User time (s)"] >= row["Machine time (s)"] for row in rows)

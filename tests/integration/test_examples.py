@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion on tiny inputs."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_module(path: Path, argv: list[str]) -> None:
+    old_argv = sys.argv
+    sys.argv = [str(path)] + argv
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _run_module(EXAMPLES_DIR / "quickstart.py", [])
+        output = capsys.readouterr().out
+        assert "Identified query" in output
+        assert "SELECT" in output
+
+    def test_csv_to_query(self, capsys):
+        _run_module(EXAMPLES_DIR / "csv_to_query.py", [])
+        output = capsys.readouterr().out
+        assert "Identified query" in output
+        assert "True" in output  # SQLite cross-check
+
+    def test_scientific_discovery(self, capsys):
+        _run_module(EXAMPLES_DIR / "scientific_discovery.py", ["0.03"])
+        output = capsys.readouterr().out
+        assert "candidate queries" in output
+        assert "worst-case feedback" in output
+
+    def test_baseball_scouting(self, capsys):
+        _run_module(EXAMPLES_DIR / "baseball_scouting.py", ["0.03"])
+        output = capsys.readouterr().out
+        assert "Workload Q5" in output
+        assert "identified query" in output
+
+    def test_census_user_study(self, capsys):
+        _run_module(EXAMPLES_DIR / "census_user_study.py", ["0.02"])
+        output = capsys.readouterr().out
+        assert "Summary across participants" in output
+        assert "QFE cost model" in output

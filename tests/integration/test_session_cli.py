@@ -1,0 +1,74 @@
+"""Integration tests for the qfe-session interactive CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relational.csv_io import database_to_csv_directory, relation_to_csv_file
+from repro.relational.evaluator import evaluate
+from repro.sql.parser import parse_query
+
+
+class TestParser:
+    def test_requires_a_data_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_and_data_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "employee", "--data", "x"])
+
+
+class TestBuiltinDatasetRuns:
+    def test_employee_with_target_sql_oracle(self, capsys):
+        exit_code = main([
+            "--dataset", "employee",
+            "--target-sql", "SELECT name FROM Employee WHERE salary > 4000",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Identified query" in output
+        assert "SELECT" in output
+
+    def test_employee_with_scripted_answers(self, capsys):
+        # Answer "1" (the largest subset) a few times; the session either
+        # converges or reports the remaining candidates — both are valid exits.
+        exit_code = main([
+            "--dataset", "employee",
+            "--target-sql", "SELECT name FROM Employee WHERE salary > 4000",
+            "--answers", ",".join(["1"] * 10),
+        ])
+        assert exit_code in (0, 1)
+        assert "feedback rounds" in capsys.readouterr().out
+
+    def test_missing_result_and_target(self, capsys):
+        exit_code = main(["--dataset", "employee"])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().out
+
+
+class TestCsvWorkflow:
+    def test_csv_directory_and_result_file(self, tmp_path, two_table_db, capsys):
+        data_dir = tmp_path / "data"
+        database_to_csv_directory(two_table_db, data_dir)
+        target = parse_query(
+            "SELECT ename FROM Emp WHERE salary > 60", two_table_db.schema
+        )
+        result = evaluate(target, two_table_db, name="R")
+        result_file = tmp_path / "expected.csv"
+        relation_to_csv_file(result, result_file)
+
+        exit_code = main([
+            "--data", str(data_dir),
+            "--result", str(result_file),
+            "--target-sql", "SELECT ename FROM Emp WHERE salary > 60",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Identified query" in output
+
+    def test_missing_data_directory(self, tmp_path, capsys):
+        exit_code = main([
+            "--data", str(tmp_path / "nope"),
+            "--target-sql", "SELECT 1",
+        ])
+        assert exit_code == 2

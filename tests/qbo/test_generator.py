@@ -1,0 +1,108 @@
+"""Unit and integration tests for the QBO-style query generator."""
+
+import pytest
+
+from repro.exceptions import NoCandidateQueriesError
+from repro.qbo.config import QBOConfig
+from repro.qbo.generator import QueryGenerator
+from repro.relational.evaluator import evaluate
+from repro.relational.relation import Relation
+
+
+class TestGeneratorOnEmployee:
+    def test_all_candidates_reproduce_result(self, employee_db, employee_result):
+        generator = QueryGenerator(QBOConfig(threshold_variants=2))
+        candidates = generator.generate(employee_db, employee_result)
+        assert candidates
+        for query in candidates:
+            assert evaluate(query, employee_db).bag_equal(employee_result)
+
+    def test_paper_candidates_are_found(self, employee_db, employee_result, employee_candidates):
+        generator = QueryGenerator(QBOConfig(threshold_variants=3))
+        found = generator.generate(employee_db, employee_result)
+        # gender = 'M' and dept = 'IT' must be among the generated candidates;
+        # salary > 4000 is represented by an equivalent-on-D threshold variant.
+        predicates = {str(q.predicate) for q in found}
+        assert any("gender" in p for p in predicates)
+        assert any("dept" in p for p in predicates)
+        assert any("salary" in p for p in predicates)
+
+    def test_candidates_are_unique(self, employee_db, employee_result):
+        generator = QueryGenerator(QBOConfig(threshold_variants=3))
+        candidates = generator.generate(employee_db, employee_result)
+        assert len({q.canonical_key() for q in candidates}) == len(candidates)
+
+    def test_deterministic_output(self, employee_db, employee_result):
+        first = QueryGenerator(QBOConfig()).generate(employee_db, employee_result)
+        second = QueryGenerator(QBOConfig()).generate(employee_db, employee_result)
+        assert [str(q) for q in first] == [str(q) for q in second]
+
+    def test_max_candidates_cap(self, employee_db, employee_result):
+        generator = QueryGenerator(QBOConfig(threshold_variants=3, max_candidates=3))
+        assert len(generator.generate(employee_db, employee_result)) <= 3
+
+    def test_report_populated(self, employee_db, employee_result):
+        generator = QueryGenerator(QBOConfig())
+        generator.generate(employee_db, employee_result)
+        report = generator.last_report
+        assert report is not None
+        assert report.candidate_count > 0
+        assert report.join_schemas_tried >= 1
+        assert report.elapsed_seconds >= 0
+
+    def test_impossible_result_raises(self, employee_db):
+        impossible = Relation.from_rows("R", ["Employee.name"], [["Nobody"]])
+        with pytest.raises(NoCandidateQueriesError):
+            QueryGenerator(QBOConfig()).generate(employee_db, impossible)
+
+    def test_key_columns_excluded_by_default(self, employee_db, employee_result):
+        candidates = QueryGenerator(QBOConfig(threshold_variants=2)).generate(
+            employee_db, employee_result
+        )
+        assert not any(
+            "Employee.Eid" in query.selection_attributes() for query in candidates
+        )
+        with_keys = QueryGenerator(
+            QBOConfig(threshold_variants=2, exclude_key_columns=False)
+        ).generate(employee_db, employee_result)
+        assert any("Employee.Eid" in query.selection_attributes() for query in with_keys)
+
+
+class TestGeneratorOnJoins:
+    def test_join_candidates(self, two_table_db):
+        result = Relation.from_rows("R", ["ename", "dname"], [["Ann", "IT"], ["Cy", "IT"]])
+        candidates = QueryGenerator(QBOConfig()).generate(two_table_db, result)
+        assert candidates
+        for query in candidates:
+            assert set(query.tables) == {"Emp", "Dept"}
+            assert evaluate(query, two_table_db).bag_equal(result)
+
+    def test_trivial_result_includes_unselective_query(self, two_table_db):
+        result = Relation.from_rows(
+            "R", ["dname"], [["IT"], ["Sales"], ["Service"]]
+        )
+        candidates = QueryGenerator(QBOConfig()).generate(two_table_db, result)
+        assert any(query.predicate.is_true for query in candidates)
+
+    def test_set_semantics_generation(self, two_table_db):
+        result = Relation.from_rows("R", ["dname"], [["IT"]])
+        candidates = QueryGenerator(QBOConfig()).generate(
+            two_table_db, result, set_semantics=True
+        )
+        assert candidates
+        for query in candidates:
+            produced = evaluate(query, two_table_db)
+            assert produced.set_equal(result)
+
+
+class TestGeneratorOnWorkloads:
+    def test_scientific_q2_candidates(self, scientific_db):
+        from repro.workloads import scientific_queries
+
+        target = scientific_queries()["Q2"]
+        result = evaluate(target, scientific_db, name="R")
+        generator = QueryGenerator(QBOConfig(threshold_variants=2, max_candidates=25))
+        candidates = generator.generate(scientific_db, result)
+        assert len(candidates) >= 5
+        for query in candidates[:10]:
+            assert evaluate(query, scientific_db).bag_equal(result)

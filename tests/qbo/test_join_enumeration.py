@@ -1,0 +1,43 @@
+"""Unit tests for join-schema enumeration."""
+
+from repro.qbo.config import QBOConfig
+from repro.qbo.join_enumeration import enumerate_join_schemas
+from repro.relational.database import Database
+from repro.relational.schema import ForeignKey
+
+
+class TestEnumerateJoinSchemas:
+    def test_two_table_schema(self, two_table_db):
+        schemas = enumerate_join_schemas(two_table_db.schema, QBOConfig())
+        assert ("Dept",) in schemas
+        assert ("Emp",) in schemas
+        assert ("Dept", "Emp") in schemas
+
+    def test_max_join_relations_respected(self, two_table_db):
+        schemas = enumerate_join_schemas(two_table_db.schema, QBOConfig(max_join_relations=1))
+        assert all(len(s) == 1 for s in schemas)
+
+    def test_disconnected_subsets_excluded(self):
+        database = Database.from_tables(
+            {
+                "A": (["id", "b_id"], [[1, 1]]),
+                "B": (["id"], [[1]]),
+                "C": (["id"], [[1]]),
+            },
+            foreign_keys=[ForeignKey("A", ("b_id",), "B", ("id",))],
+        )
+        schemas = enumerate_join_schemas(database.schema, QBOConfig())
+        assert ("A", "B") in schemas
+        assert ("A", "C") not in schemas
+        assert ("B", "C") not in schemas
+
+    def test_three_table_chain(self, baseball_db):
+        schemas = enumerate_join_schemas(baseball_db.schema, QBOConfig(max_join_relations=3))
+        assert ("Batting", "Manager", "Team") in schemas
+        # Batting and Manager are only connected through Team.
+        assert ("Batting", "Manager") not in schemas
+
+    def test_smallest_first_ordering(self, two_table_db):
+        schemas = enumerate_join_schemas(two_table_db.schema, QBOConfig())
+        sizes = [len(s) for s in schemas]
+        assert sizes == sorted(sizes)

@@ -1,0 +1,53 @@
+"""Unit tests for candidate expansion by constant mutation (Table 6 device)."""
+
+from repro.qbo.config import QBOConfig
+from repro.qbo.generator import QueryGenerator
+from repro.qbo.mutation import expand_candidate_set, mutate_candidates
+from repro.relational.evaluator import evaluate
+
+
+class TestMutation:
+    def _base(self, employee_db, employee_result, count=5):
+        generator = QueryGenerator(QBOConfig(threshold_variants=1, max_candidates=count))
+        return generator.generate(employee_db, employee_result)
+
+    def test_mutants_preserve_result(self, employee_db, employee_result):
+        base = self._base(employee_db, employee_result)
+        mutants = mutate_candidates(employee_db, employee_result, base, limit=10)
+        for mutant in mutants:
+            assert evaluate(mutant, employee_db).bag_equal(employee_result)
+
+    def test_mutants_are_new_queries(self, employee_db, employee_result):
+        base = self._base(employee_db, employee_result)
+        base_keys = {q.canonical_key() for q in base}
+        mutants = mutate_candidates(employee_db, employee_result, base, limit=10)
+        assert mutants
+        for mutant in mutants:
+            assert mutant.canonical_key() not in base_keys
+
+    def test_limit_respected(self, employee_db, employee_result):
+        base = self._base(employee_db, employee_result)
+        assert len(mutate_candidates(employee_db, employee_result, base, limit=3)) <= 3
+
+    def test_expand_to_target_size(self, employee_db, employee_result):
+        base = self._base(employee_db, employee_result)
+        expanded = expand_candidate_set(employee_db, employee_result, base, target_size=15)
+        assert len(expanded) >= len(base)
+        assert len(expanded) <= 15
+        assert expanded[: len(base)] == base
+        assert len({q.canonical_key() for q in expanded}) == len(expanded)
+
+    def test_expand_truncates_when_already_large(self, employee_db, employee_result):
+        base = self._base(employee_db, employee_result, count=8)
+        expanded = expand_candidate_set(employee_db, employee_result, base, target_size=2)
+        assert len(expanded) == 2
+
+    def test_mutation_of_categorical_equality(self, two_table_db):
+        from repro.relational.relation import Relation
+
+        result = Relation.from_rows("R", ["ename"], [["Ann"], ["Cy"]])
+        generator = QueryGenerator(QBOConfig(threshold_variants=1, max_candidates=10))
+        base = generator.generate(two_table_db, result)
+        expanded = expand_candidate_set(two_table_db, result, base, target_size=len(base) + 5)
+        for query in expanded:
+            assert evaluate(query, two_table_db).bag_equal(result)

@@ -1,0 +1,49 @@
+"""Unit tests for projection inference."""
+
+from repro.qbo.config import QBOConfig
+from repro.qbo.projection import candidate_projections
+from repro.relational.join import full_join
+from repro.relational.relation import Relation
+
+
+class TestCandidateProjections:
+    def test_name_match_preferred(self, two_table_db):
+        joined = full_join(two_table_db)
+        result = Relation.from_rows("R", ["ename"], [["Ann"], ["Cy"]])
+        projections = candidate_projections(joined, result, QBOConfig())
+        assert projections == [("Emp.ename",)]
+
+    def test_value_containment_without_name_match(self, two_table_db):
+        joined = full_join(two_table_db)
+        result = Relation.from_rows("R", ["who"], [["Ann"], ["Cy"]])
+        projections = candidate_projections(joined, result, QBOConfig())
+        assert ("Emp.ename",) in projections
+
+    def test_numeric_columns_can_match_multiple(self, two_table_db):
+        joined = full_join(two_table_db)
+        result = Relation.from_rows("R", ["value"], [[100]])
+        projections = candidate_projections(joined, result, QBOConfig(match_columns_by_name=False))
+        flattened = {p[0] for p in projections}
+        assert "Dept.budget" in flattened
+
+    def test_unmatchable_result_yields_nothing(self, two_table_db):
+        joined = full_join(two_table_db)
+        result = Relation.from_rows("R", ["x"], [["definitely-not-present"]])
+        assert candidate_projections(joined, result, QBOConfig()) == []
+
+    def test_same_column_not_reused(self, two_table_db):
+        joined = full_join(two_table_db)
+        result = Relation.from_rows("R", ["a", "b"], [["Ann", "Ann"]])
+        for projection in candidate_projections(joined, result, QBOConfig(match_columns_by_name=False)):
+            assert len(set(projection)) == len(projection)
+
+    def test_mapping_cap_respected(self, two_table_db):
+        joined = full_join(two_table_db)
+        result = Relation.from_rows("R", ["n"], [[1]])
+        config = QBOConfig(match_columns_by_name=False, max_projection_mappings=2)
+        assert len(candidate_projections(joined, result, config)) <= 2
+
+    def test_multi_column_projection(self, two_table_db):
+        joined = full_join(two_table_db)
+        result = Relation.from_rows("R", ["ename", "dname"], [["Ann", "IT"]])
+        assert ("Emp.ename", "Dept.dname") in candidate_projections(joined, result, QBOConfig())

@@ -1,0 +1,42 @@
+"""Unit tests for QBOConfig validation and presets."""
+
+import pytest
+
+from repro.qbo.config import QBOConfig
+
+
+class TestQBOConfig:
+    def test_defaults_are_valid(self):
+        config = QBOConfig()
+        assert config.max_join_relations >= 1
+        assert config.exclude_key_columns is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_join_relations": 0},
+            {"max_terms_per_conjunct": 0},
+            {"max_conjuncts": 0},
+            {"max_candidates": 0},
+            {"threshold_variants": 0},
+            {"threshold_variants": 4},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            QBOConfig(**kwargs)
+
+    def test_exhaustive_preset_is_larger(self):
+        default, exhaustive = QBOConfig(), QBOConfig.exhaustive()
+        assert exhaustive.max_candidates > default.max_candidates
+        assert exhaustive.threshold_variants >= default.threshold_variants
+        assert exhaustive.max_join_relations >= default.max_join_relations
+
+    def test_conservative_preset_is_smaller(self):
+        default, conservative = QBOConfig(), QBOConfig.conservative()
+        assert conservative.max_candidates < default.max_candidates
+        assert conservative.max_terms_per_conjunct <= default.max_terms_per_conjunct
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            QBOConfig().max_candidates = 5  # type: ignore[misc]

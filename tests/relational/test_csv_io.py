@@ -1,0 +1,72 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.csv_io import (
+    database_from_csv_directory,
+    database_to_csv_directory,
+    parse_csv_value,
+    relation_from_csv_text,
+    relation_to_csv_text,
+)
+from repro.relational.schema import ForeignKey
+
+
+class TestParseCsvValue:
+    def test_null_forms(self):
+        assert parse_csv_value("") is None
+        assert parse_csv_value("NULL") is None
+        assert parse_csv_value("  null ") is None
+
+    def test_booleans(self):
+        assert parse_csv_value("true") is True
+        assert parse_csv_value("False") is False
+
+    def test_numbers(self):
+        assert parse_csv_value("42") == 42
+        assert parse_csv_value("-3.5") == -3.5
+
+    def test_strings(self):
+        assert parse_csv_value("hello world") == "hello world"
+        assert parse_csv_value("12abc") == "12abc"
+
+
+class TestRelationRoundTrip:
+    def test_text_round_trip(self):
+        relation = relation_from_csv_text("T", "a,b,c\n1,x,2.5\n2,y,\n")
+        assert relation.rows() == [(1, "x", 2.5), (2, "y", None)]
+        text = relation_to_csv_text(relation)
+        again = relation_from_csv_text("T", text)
+        assert again.bag_equal(relation)
+
+    def test_header_only(self):
+        relation = relation_from_csv_text("T", "a,b\n")
+        assert len(relation) == 0
+        assert relation.schema.attribute_names == ("a", "b")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(SchemaError):
+            relation_from_csv_text("T", "")
+
+    def test_boolean_round_trip(self):
+        relation = relation_from_csv_text("T", "flag\ntrue\nfalse\n")
+        assert relation.column("flag") == [True, False]
+        assert "true" in relation_to_csv_text(relation)
+
+
+class TestDatabaseRoundTrip:
+    def test_directory_round_trip(self, two_table_db, tmp_path):
+        database_to_csv_directory(two_table_db, tmp_path)
+        loaded = database_from_csv_directory(
+            tmp_path,
+            foreign_keys=[ForeignKey("Emp", ("did",), "Dept", ("did",))],
+            primary_keys={"Dept": ["did"], "Emp": ["eid"]},
+        )
+        assert set(loaded.table_names) == {"Dept", "Emp"}
+        for name in loaded.table_names:
+            assert loaded.relation(name).bag_equal(two_table_db.relation(name))
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            database_from_csv_directory(tmp_path)

@@ -1,0 +1,58 @@
+"""Unit tests for database instances."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, ForeignKey
+
+
+class TestDatabaseConstruction:
+    def test_from_tables(self, two_table_db):
+        assert set(two_table_db.table_names) == {"Dept", "Emp"}
+        assert len(two_table_db.relation("Emp")) == 5
+        assert two_table_db.total_tuples() == 8
+
+    def test_missing_relations_created_empty(self, two_table_db):
+        schema = two_table_db.schema
+        database = Database(schema)
+        assert len(database.relation("Emp")) == 0
+
+    def test_relation_not_in_schema_rejected(self, two_table_db):
+        extra = Relation.from_rows("Extra", ["x"], [[1]])
+        with pytest.raises(SchemaError):
+            Database(two_table_db.schema, {"Extra": extra})
+
+    def test_relation_schema_mismatch_rejected(self, two_table_db):
+        wrong = Relation.from_rows("Emp", ["only_one_column"], [[1]])
+        with pytest.raises(SchemaError):
+            Database(two_table_db.schema, {"Emp": wrong})
+
+
+class TestDatabaseAccess:
+    def test_getitem_and_contains(self, two_table_db):
+        assert two_table_db["Dept"] is two_table_db.relation("Dept")
+        assert "Dept" in two_table_db
+        assert "Nope" not in two_table_db
+        with pytest.raises(SchemaError):
+            two_table_db.relation("Nope")
+
+    def test_iteration(self, two_table_db):
+        assert {relation.name for relation in two_table_db} == {"Dept", "Emp"}
+
+    def test_pretty_contains_tables(self, two_table_db):
+        text = two_table_db.pretty()
+        assert "Dept" in text and "Emp" in text
+
+
+class TestDatabaseCopy:
+    def test_copy_isolates_data(self, two_table_db):
+        clone = two_table_db.copy()
+        clone.relation("Emp").update_value(0, "salary", 999)
+        assert two_table_db.relation("Emp").tuple_by_id(0).values[3] == 90
+        assert clone.relation("Emp").tuple_by_id(0).values[3] == 999
+
+    def test_copy_shares_schema(self, two_table_db):
+        clone = two_table_db.copy()
+        assert clone.schema is two_table_db.schema

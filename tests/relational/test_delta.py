@@ -1,0 +1,62 @@
+"""Unit tests for the Δ(D, R_i) delta presentation."""
+
+from repro.relational.delta import database_delta, result_delta
+from repro.relational.relation import Relation
+
+
+class TestDatabaseDelta:
+    def test_no_changes(self, two_table_db):
+        delta = database_delta(two_table_db, two_table_db.copy())
+        assert delta.cost == 0
+        assert delta.modified_relation_count == 0
+        assert delta.describe() == ["(no database changes)"]
+
+    def test_single_modification(self, two_table_db):
+        modified = two_table_db.copy()
+        modified.relation("Emp").update_value(1, "salary", 77)
+        delta = database_delta(two_table_db, modified)
+        assert delta.cost == 1
+        assert delta.modified_relation_count == 1
+        assert delta.modified_tuple_count == 1
+        assert any("salary" in line for line in delta.describe())
+
+    def test_multi_relation_modification(self, two_table_db):
+        modified = two_table_db.copy()
+        modified.relation("Emp").update_value(0, "salary", 1)
+        modified.relation("Dept").update_value(0, "budget", 2)
+        delta = database_delta(two_table_db, modified)
+        assert delta.modified_relation_count == 2
+        assert delta.modified_tuple_count == 2
+        assert delta.cost == 2
+
+    def test_pretty_is_multiline_text(self, two_table_db):
+        modified = two_table_db.copy()
+        modified.relation("Emp").update_value(0, "salary", 1)
+        assert "salary" in database_delta(two_table_db, modified).pretty()
+
+
+class TestResultDelta:
+    def test_unchanged_result(self):
+        result = Relation.from_rows("R", ["name"], [["a"], ["b"]])
+        delta = result_delta(result, result.copy())
+        assert delta.cost == 0
+        assert delta.describe() == ["(result unchanged)"]
+
+    def test_added_row(self):
+        original = Relation.from_rows("R", ["name"], [["a"]])
+        candidate = Relation.from_rows("R", ["name"], [["a"], ["b"]])
+        delta = result_delta(original, candidate)
+        assert delta.cost == 1
+        assert any("insert" in line for line in delta.describe())
+
+    def test_removed_row(self):
+        original = Relation.from_rows("R", ["name"], [["a"], ["b"]])
+        candidate = Relation.from_rows("R", ["name"], [["a"]])
+        delta = result_delta(original, candidate)
+        assert delta.cost == 1
+        assert any("delete" in line for line in delta.describe())
+
+    def test_modified_wide_row(self):
+        original = Relation.from_rows("R", ["x", "y", "z"], [[1, 2, 3]])
+        candidate = Relation.from_rows("R", ["x", "y", "z"], [[1, 9, 3]])
+        assert result_delta(original, candidate).cost == 1

@@ -1,0 +1,115 @@
+"""Unit tests for foreign-key joins, provenance and join indexes."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.database import Database
+from repro.relational.join import foreign_key_join, full_join
+from repro.relational.schema import ForeignKey
+
+
+class TestForeignKeyJoin:
+    def test_single_table_join_is_trivial(self, two_table_db):
+        joined = foreign_key_join(two_table_db, ["Dept"])
+        assert len(joined) == 3
+        assert joined.attribute_names == ("Dept.did", "Dept.dname", "Dept.budget")
+
+    def test_two_table_join_size_and_columns(self, two_table_db):
+        joined = foreign_key_join(two_table_db, ["Emp", "Dept"])
+        assert len(joined) == 5  # every Emp row has a matching Dept
+        assert "Emp.ename" in joined.attribute_names
+        assert "Dept.dname" in joined.attribute_names
+
+    def test_join_values_line_up(self, two_table_db):
+        joined = foreign_key_join(two_table_db, ["Emp", "Dept"])
+        for row in joined.rows_as_mappings():
+            assert row["Emp.did"] == row["Dept.did"]
+
+    def test_empty_table_list_rejected(self, two_table_db):
+        with pytest.raises(SchemaError):
+            foreign_key_join(two_table_db, [])
+
+    def test_unconnected_tables_rejected(self):
+        database = Database.from_tables(
+            {"A": (["x"], [[1]]), "B": (["y"], [[2]])},
+        )
+        with pytest.raises(SchemaError):
+            foreign_key_join(database, ["A", "B"])
+
+    def test_unknown_table_rejected(self, two_table_db):
+        with pytest.raises(SchemaError):
+            foreign_key_join(two_table_db, ["Emp", "Nope"])
+
+    def test_full_join(self, two_table_db):
+        assert len(full_join(two_table_db)) == 5
+
+    def test_null_foreign_keys_drop_out(self):
+        database = Database.from_tables(
+            {
+                "Parent": (["pid"], [[1], [2]]),
+                "Child": (["cid", "pid"], [[1, 1], [2, None], [3, 2]]),
+            },
+            foreign_keys=[ForeignKey("Child", ("pid",), "Parent", ("pid",))],
+            primary_keys={"Parent": ["pid"], "Child": ["cid"]},
+        )
+        assert len(full_join(database)) == 2
+
+
+class TestProvenanceAndJoinIndex:
+    def test_provenance_maps_to_base_tuples(self, two_table_db):
+        joined = foreign_key_join(two_table_db, ["Emp", "Dept"])
+        for position in range(len(joined)):
+            emp_id = joined.base_tuple_of(position, "Emp")
+            dept_id = joined.base_tuple_of(position, "Dept")
+            emp_row = two_table_db.relation("Emp").tuple_by_id(emp_id)
+            dept_row = two_table_db.relation("Dept").tuple_by_id(dept_id)
+            assert emp_row.values[2] == dept_row.values[0]
+
+    def test_base_tuple_of_unknown_table(self, two_table_db):
+        joined = foreign_key_join(two_table_db, ["Emp", "Dept"])
+        with pytest.raises(SchemaError):
+            joined.base_tuple_of(0, "Nope")
+
+    def test_fanout_counts_children(self, two_table_db):
+        joined = foreign_key_join(two_table_db, ["Emp", "Dept"])
+        # Dept 1 (IT) has two employees, Dept 3 has one.
+        dept = two_table_db.relation("Dept")
+        it_id = next(t.tuple_id for t in dept.tuples if t.values[1] == "IT")
+        service_id = next(t.tuple_id for t in dept.tuples if t.values[1] == "Service")
+        assert joined.fanout_of("Dept", it_id) == 2
+        assert joined.fanout_of("Dept", service_id) == 1
+        assert joined.fanout_of("Dept", 999) == 0
+
+    def test_joined_positions_consistent_with_fanout(self, two_table_db):
+        joined = foreign_key_join(two_table_db, ["Emp", "Dept"])
+        for table in ("Emp", "Dept"):
+            for row in two_table_db.relation(table).tuples:
+                positions = joined.joined_positions_of(table, row.tuple_id)
+                assert len(positions) == joined.fanout_of(table, row.tuple_id)
+
+    def test_owning_table_of(self, two_table_db):
+        joined = foreign_key_join(two_table_db, ["Emp", "Dept"])
+        assert joined.owning_table_of("Dept.dname") == "Dept"
+        with pytest.raises(SchemaError):
+            joined.owning_table_of("Nope.x")
+
+    def test_row_as_mapping(self, two_table_db):
+        joined = foreign_key_join(two_table_db, ["Emp", "Dept"])
+        row = joined.row_as_mapping(0)
+        assert set(row) == set(joined.attribute_names)
+
+
+class TestDatasetJoins:
+    def test_scientific_join_smaller_than_side_table(self, scientific_db):
+        from repro.datasets import scientific
+
+        joined = full_join(scientific_db)
+        assert 0 < len(joined) < len(scientific_db.relation(scientific.SIDE_TABLE))
+
+    def test_baseball_three_way_join_has_fanout(self, baseball_db):
+        joined = full_join(baseball_db)
+        batting_rows = len(baseball_db.relation("Batting"))
+        # some team-seasons have two managers, so the join exceeds Batting,
+        # but it never doubles it
+        assert len(joined) >= batting_rows * 0.5
+        assert len(joined) <= batting_rows * 2

@@ -1,0 +1,140 @@
+"""Hypothesis property tests for the relational substrate.
+
+Invariants covered:
+
+* ``minEdit`` is a metric-like distance on relation instances: identity,
+  symmetry, non-negativity, and the upper bound ``arity · (|T| + |T'|)``;
+  the edit script's cost always equals the reported minimum.
+* Bag equality is insensitive to row order; set equality is insensitive to
+  duplication.
+* Predicate evaluation agrees between our engine and SQLite for randomly
+  generated single-table selections.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.relational.database import Database
+from repro.relational.edit import min_edit_relation, min_edit_script
+from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+from repro.sql.sqlite_backend import cross_check
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_value = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.sampled_from(["red", "green", "blue", "x"]),
+    st.none(),
+)
+_row = st.tuples(
+    st.integers(min_value=-20, max_value=20),
+    st.sampled_from(["red", "green", "blue"]),
+    st.floats(min_value=-5, max_value=5, allow_nan=False, allow_infinity=False),
+)
+_rows = st.lists(_row, min_size=0, max_size=8)
+
+
+def _relation(rows) -> Relation:
+    return Relation.from_rows("T", ["a", "b", "c"], [list(r) for r in rows])
+
+
+class TestMinEditProperties:
+    @_SETTINGS
+    @given(_rows)
+    def test_identity(self, rows):
+        relation = _relation(rows)
+        assert min_edit_relation(relation, relation.copy()) == 0
+
+    @_SETTINGS
+    @given(_rows, _rows)
+    def test_symmetry(self, left_rows, right_rows):
+        left, right = _relation(left_rows), _relation(right_rows)
+        assert min_edit_relation(left, right) == min_edit_relation(right, left)
+
+    @_SETTINGS
+    @given(_rows, _rows)
+    def test_upper_bound_and_nonnegative(self, left_rows, right_rows):
+        left, right = _relation(left_rows), _relation(right_rows)
+        cost = min_edit_relation(left, right)
+        assert 0 <= cost <= 3 * (len(left) + len(right))
+
+    @_SETTINGS
+    @given(_rows, _rows)
+    def test_script_cost_matches(self, left_rows, right_rows):
+        left, right = _relation(left_rows), _relation(right_rows)
+        script = min_edit_script(left, right)
+        assert script.cost == min_edit_relation(left, right)
+
+    @_SETTINGS
+    @given(_rows)
+    def test_zero_iff_bag_equal(self, rows):
+        left = _relation(rows)
+        shuffled = _relation(list(reversed(rows)))
+        assert min_edit_relation(left, shuffled) == 0
+        assert left.bag_equal(shuffled)
+
+
+class TestBagSetProperties:
+    @_SETTINGS
+    @given(_rows)
+    def test_bag_equality_order_insensitive(self, rows):
+        assert _relation(rows).bag_equal(_relation(list(reversed(rows))))
+
+    @_SETTINGS
+    @given(_rows)
+    def test_set_equality_duplication_insensitive(self, rows):
+        doubled = _relation(list(rows) + list(rows))
+        assert doubled.set_equal(_relation(rows)) or not rows
+
+
+_operators = st.sampled_from(
+    [ComparisonOp.EQ, ComparisonOp.NE, ComparisonOp.LT, ComparisonOp.LE,
+     ComparisonOp.GT, ComparisonOp.GE]
+)
+
+
+class TestSQLiteAgreement:
+    @_SETTINGS
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 30), st.sampled_from(["p", "q", "r"])),
+            min_size=1,
+            max_size=10,
+        ),
+        operator=_operators,
+        constant=st.integers(0, 30),
+    )
+    def test_numeric_selection_agrees_with_sqlite(self, rows, operator, constant):
+        database = Database.from_tables(
+            {"T": (["a", "b"], [list(r) for r in rows])}
+        )
+        query = SPJQuery(
+            ["T"], ["T.a", "T.b"],
+            DNFPredicate.from_terms([Term("T.a", operator, constant)]),
+        )
+        assert cross_check(query, database)
+
+    @_SETTINGS
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 10), st.sampled_from(["p", "q", "r"])),
+            min_size=1,
+            max_size=10,
+        ),
+        constant=st.sampled_from(["p", "q", "r", "zz"]),
+    )
+    def test_string_equality_agrees_with_sqlite(self, rows, constant):
+        database = Database.from_tables({"T": (["a", "b"], [list(r) for r in rows])})
+        query = SPJQuery(
+            ["T"], ["T.b"],
+            DNFPredicate.from_terms([Term("T.b", ComparisonOp.EQ, constant)]),
+        )
+        assert cross_check(query, database)

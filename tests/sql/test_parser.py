@@ -1,0 +1,133 @@
+"""Unit tests for the SPJ SQL parser."""
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.relational.evaluator import evaluate
+from repro.relational.predicates import ComparisonOp
+from repro.sql.parser import parse_query
+
+
+class TestBasicParsing:
+    def test_simple_selection(self, two_table_db):
+        query = parse_query("SELECT ename FROM Emp WHERE salary > 60", two_table_db.schema)
+        assert query.tables == ("Emp",)
+        assert query.projection == ("Emp.ename",)
+        assert query.predicate.terms()[0].op is ComparisonOp.GT
+        assert len(evaluate(query, two_table_db)) == 3
+
+    def test_distinct(self, two_table_db):
+        query = parse_query("SELECT DISTINCT did FROM Emp", two_table_db.schema)
+        assert query.distinct
+        assert len(evaluate(query, two_table_db)) == 3
+
+    def test_star_expansion_requires_schema(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT * FROM Emp")
+
+    def test_star_expansion(self, two_table_db):
+        query = parse_query("SELECT * FROM Emp", two_table_db.schema)
+        assert len(query.projection) == 5
+
+    def test_trailing_semicolon_and_comment(self, two_table_db):
+        query = parse_query("SELECT ename FROM Emp; -- done", two_table_db.schema)
+        assert query.projection == ("Emp.ename",)
+
+    def test_trailing_garbage_rejected(self, two_table_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT ename FROM Emp garbage garbage", two_table_db.schema)
+
+
+class TestPredicates:
+    def test_and_or_precedence(self, two_table_db):
+        query = parse_query(
+            "SELECT ename FROM Emp WHERE salary > 60 AND senior = TRUE OR salary < 45",
+            two_table_db.schema,
+        )
+        # DNF: (salary>60 AND senior) OR (salary<45)
+        assert len(query.predicate.conjuncts) == 2
+
+    def test_parentheses_distribute(self, two_table_db):
+        query = parse_query(
+            "SELECT ename FROM Emp WHERE senior = TRUE AND (salary > 80 OR salary < 50)",
+            two_table_db.schema,
+        )
+        assert len(query.predicate.conjuncts) == 2
+        assert all(len(c.terms) == 2 for c in query.predicate.conjuncts)
+
+    def test_in_and_not_in(self, two_table_db):
+        query = parse_query(
+            "SELECT ename FROM Emp WHERE did IN (1, 3) AND ename NOT IN ('Zz')",
+            two_table_db.schema,
+        )
+        ops = {t.op for t in query.predicate.terms()}
+        assert ComparisonOp.IN in ops and ComparisonOp.NOT_IN in ops
+        assert sorted(r[0] for r in evaluate(query, two_table_db).rows()) == ["Ann", "Cy", "Di"]
+
+    def test_literal_types(self, two_table_db):
+        query = parse_query(
+            "SELECT ename FROM Emp WHERE salary >= 60.5 AND senior = TRUE",
+            two_table_db.schema,
+        )
+        constants = [t.constant for t in query.predicate.terms()]
+        assert 60.5 in constants and True in constants
+
+    def test_unsupported_operator_for_columns(self, two_table_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT ename FROM Emp WHERE salary < did + 1", two_table_db.schema)
+
+
+class TestJoins:
+    def test_explicit_inner_join(self, two_table_db):
+        query = parse_query(
+            "SELECT Emp.ename, Dept.dname FROM Emp INNER JOIN Dept ON Emp.did = Dept.did "
+            "WHERE Dept.budget >= 80",
+            two_table_db.schema,
+        )
+        assert set(query.tables) == {"Emp", "Dept"}
+        assert len(evaluate(query, two_table_db)) == 4
+
+    def test_join_keyword_without_inner(self, two_table_db):
+        query = parse_query(
+            "SELECT Emp.ename FROM Emp JOIN Dept ON Emp.did = Dept.did",
+            two_table_db.schema,
+        )
+        assert len(evaluate(query, two_table_db)) == 5
+
+    def test_comma_join_with_where_condition(self, two_table_db):
+        query = parse_query(
+            "SELECT Emp.ename FROM Emp, Dept WHERE Emp.did = Dept.did AND Dept.dname = 'IT'",
+            two_table_db.schema,
+        )
+        assert sorted(r[0] for r in evaluate(query, two_table_db).rows()) == ["Ann", "Cy"]
+
+    def test_non_equality_join_condition_rejected(self, two_table_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_query(
+                "SELECT Emp.ename FROM Emp INNER JOIN Dept ON Emp.did < Dept.did",
+                two_table_db.schema,
+            )
+
+
+class TestColumnResolution:
+    def test_unqualified_column_resolved(self, two_table_db):
+        query = parse_query(
+            "SELECT ename FROM Emp INNER JOIN Dept ON Emp.did = Dept.did WHERE budget > 70",
+            two_table_db.schema,
+        )
+        assert query.predicate.terms()[0].attribute == "Dept.budget"
+
+    def test_ambiguous_column_rejected(self, two_table_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_query(
+                "SELECT did FROM Emp INNER JOIN Dept ON Emp.did = Dept.did",
+                two_table_db.schema,
+            )
+
+    def test_unknown_column_rejected(self, two_table_db):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT nope FROM Emp", two_table_db.schema)
+
+    def test_multi_table_unqualified_without_schema_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT a FROM T1, T2")

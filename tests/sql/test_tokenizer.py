@@ -1,0 +1,60 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.sql.tokenizer import tokenize
+
+
+class TestTokenizer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT name FROM Employee")
+        assert [t.kind for t in tokens] == ["IDENT"] * 4
+        assert tokens[0].upper == "SELECT"
+
+    def test_qualified_identifier_uses_dot_token(self):
+        kinds = [t.kind for t in tokenize("T.a")]
+        assert kinds == ["IDENT", "DOT", "IDENT"]
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"weird name"')
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].text == "weird name"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('"oops')
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("'it''s fine'")
+        assert tokens[0].kind == "STRING"
+        assert tokens[0].text == "it's fine"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 -3.5 1e3")
+        assert [t.kind for t in tokens] == ["NUMBER", "NUMBER", "NUMBER"]
+
+    def test_operators(self):
+        texts = [t.text for t in tokenize("a <= 1 AND b <> 2 OR c != 3 AND d >= e")]
+        assert "<=" in texts and "<>" in texts and "!=" in texts and ">=" in texts
+
+    def test_punctuation(self):
+        kinds = [t.kind for t in tokenize("(a, b);*")]
+        assert kinds == ["LPAREN", "IDENT", "COMMA", "IDENT", "RPAREN", "SEMI", "STAR"]
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize("SELECT a -- comment here\nFROM t")
+        assert [t.upper for t in tokens] == ["SELECT", "A", "FROM", "T"]
+
+    def test_unknown_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

@@ -1,0 +1,47 @@
+"""Tests for the workload registry (the paper's Q1–Q6 and user-study targets)."""
+
+import pytest
+
+from repro.sql.render import render_query
+from repro.workloads import WORKLOADS, build_pair, workload
+
+
+class TestWorkloadRegistry:
+    def test_all_paper_queries_registered(self):
+        assert {"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "U1", "U2", "U3"} <= set(WORKLOADS)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload("Q99")
+
+    def test_expected_result_sizes(self):
+        expected = {"Q1": 1, "Q2": 6, "Q3": 5, "Q4": 14, "Q5": 4, "Q6": 4}
+        for name, size in expected.items():
+            assert WORKLOADS[name].expected_result_size == size
+
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"])
+    def test_build_pair_matches_expected_cardinality(self, name):
+        database, result, target = build_pair(name, scale=0.03)
+        assert len(result) == WORKLOADS[name].expected_result_size
+        assert set(target.tables) <= set(database.table_names)
+
+    def test_queries_render_to_sql(self):
+        for name, entry in WORKLOADS.items():
+            sql = render_query(entry.target_query)
+            assert sql.startswith("SELECT"), name
+
+    def test_q1_q2_use_dnf_over_pvalues(self):
+        q1 = WORKLOADS["Q1"].target_query
+        q2 = WORKLOADS["Q2"].target_query
+        # the (pvalue1 OR pvalue2 OR ...) factor expands to 4 conjuncts in DNF
+        assert len(q1.predicate.conjuncts) == 4
+        assert len(q2.predicate.conjuncts) == 4
+
+    def test_q6_is_disjunctive(self):
+        q6 = WORKLOADS["Q6"].target_query
+        assert len(q6.predicate.conjuncts) == 2
+
+    def test_join_table_counts(self):
+        assert len(WORKLOADS["Q1"].target_query.tables) == 2
+        assert len(WORKLOADS["Q3"].target_query.tables) == 2
+        assert len(WORKLOADS["Q4"].target_query.tables) == 3
