@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 suite plus the row-vs-columnar differential oracle.
+#
+#   scripts/check.sh          fast tier-1 (slow-marked tests excluded)
+#   scripts/check.sh --slow   also run the slow tier (examples, tables, studies)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== differential oracle: columnar engine vs row-at-a-time reference =="
+python -m pytest -q tests/relational/test_columnar.py tests/sql/test_sqlite_backend.py
+
+if [[ "${1:-}" == "--slow" ]]; then
+    echo
+    echo "== slow tier: examples, tables, studies =="
+    python -m pytest -q -m slow
+fi
+
+echo
+echo "All checks passed."

@@ -35,7 +35,7 @@ from repro.core.subset_selection import ScoreFunction, SubsetSelectionResult, pi
 from repro.core.tuple_class import TupleClassSpace
 from repro.exceptions import DatabaseGenerationError
 from repro.relational.database import Database
-from repro.relational.join import foreign_key_join
+from repro.relational.evaluator import JoinCache
 from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
 
@@ -67,9 +67,21 @@ class DatabaseGenerationResult:
 class DatabaseGenerator:
     """Generate a distinguishing modified database for the surviving candidates."""
 
-    def __init__(self, config: QFEConfig | None = None, *, score: ScoreFunction | None = None) -> None:
+    def __init__(
+        self,
+        config: QFEConfig | None = None,
+        *,
+        score: ScoreFunction | None = None,
+        join_cache: JoinCache | None = None,
+    ) -> None:
         self.config = config or QFEConfig()
         self.score = score
+        # Caches the original database's joins (and their columnar views /
+        # term masks) across iterations — the session calls generate() with
+        # the same ``original`` every round. Entries evict automatically when
+        # a database is garbage-collected; only in-place modification of a
+        # live cached database requires ``join_cache.invalidate``.
+        self.join_cache = join_cache if join_cache is not None else JoinCache()
 
     def generate(
         self,
@@ -87,7 +99,7 @@ class DatabaseGenerator:
         # unrelated extra tables usable).
         referenced = sorted({table for query in queries for table in query.tables})
         try:
-            joined = foreign_key_join(original, referenced)
+            joined = self.join_cache.join_for(original, referenced)
         except Exception as exc:
             raise DatabaseGenerationError(
                 f"cannot materialize the join of {referenced}: {exc}"
@@ -140,6 +152,9 @@ class DatabaseGenerator:
                 fallback_attempts += 1
                 last_error = "no class pair could be materialized"
                 continue
+            # Each attempt materializes a fresh database copy that is
+            # evaluated exactly once, so the batch partition uses its own
+            # short-lived join cache rather than growing the generator's.
             partition = partition_queries(
                 queries,
                 materialization.database,

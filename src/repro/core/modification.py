@@ -68,9 +68,8 @@ class PairSetEffect:
 
 
 def _per_pair_query_key(
-    space: TupleClassSpace,
-    pair: ClassPair,
-    query_index: int,
+    source_match: bool,
+    destination_match: bool,
     projected_change: bool,
 ) -> tuple:
     """The result-effect key of one pair for one query (see Lemma 5.1).
@@ -80,8 +79,6 @@ def _per_pair_query_key(
     When none of the modified attributes is projected, "swap" collapses into
     "unchanged" because the projected values are identical.
     """
-    source_match = space.matches(query_index, pair.source)
-    destination_match = space.matches(query_index, pair.destination)
     if not projected_change:
         if source_match == destination_match:
             return ("same",)
@@ -132,10 +129,14 @@ class PairSetSimulator:
         changed = space.changed_attributes(pair.source, pair.destination)
         changed_projected = [a for a in changed if a in self._projection_set]
         projected_change = bool(changed_projected)
+        # One batch probe per class: the space's compiled predicates evaluate
+        # every candidate against the source/destination classes at once.
+        source_matches = space.match_vector(pair.source)
+        destination_matches = space.match_vector(pair.destination)
         keys: list[tuple] = []
         edits: list[float] = []
-        for query_index in range(len(space.queries)):
-            key = _per_pair_query_key(space, pair, query_index, projected_change)
+        for source_match, destination_match in zip(source_matches, destination_matches):
+            key = _per_pair_query_key(source_match, destination_match, projected_change)
             keys.append(key)
             edits.append(_per_pair_result_edit(key, self.result_arity, len(changed_projected)))
         data = (tuple(keys), tuple(edits), changed)

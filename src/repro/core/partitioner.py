@@ -3,9 +3,12 @@
 At each QFE iteration the surviving candidates ``QC'`` are partitioned into
 result-equivalence classes on the newly generated database ``D'``: two
 queries land in the same class exactly when they produce the same result on
-``D'`` (Section 2). This module computes that partition by exact evaluation
-(sharing join computations through a :class:`~repro.relational.evaluator.JoinCache`)
-and exposes the per-class results the Result Feedback module presents.
+``D'`` (Section 2). This module computes that partition by exact *batch*
+evaluation: all candidates sharing a join schema are evaluated in one columnar
+pass over the cached join (:meth:`~repro.relational.evaluator.JoinCache.evaluate_batch`),
+with term masks, result materialization and fingerprints shared between
+candidates. The per-class results the Result Feedback module presents come
+straight from the batch.
 """
 
 from __future__ import annotations
@@ -14,7 +17,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.relational.database import Database
-from repro.relational.evaluator import JoinCache, result_fingerprint
+from repro.relational.evaluator import JoinCache
 from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
 
@@ -74,16 +77,23 @@ def partition_queries(
     result_name: str = "Result",
     join_cache: JoinCache | None = None,
 ) -> QueryPartition:
-    """Group *queries* by their (bag or set) results on *database*."""
+    """Group *queries* by their (bag or set) results on *database*.
+
+    All candidates are evaluated in one batch per join schema: the columnar
+    engine evaluates each distinct selection term once per join and
+    fingerprints each distinct result once, instead of paying per candidate.
+    """
     cache = join_cache or JoinCache()
+    batch = cache.evaluate_batch(
+        queries, database, set_semantics=set_semantics, name=result_name
+    )
     buckets: dict[object, list[int]] = {}
     results: dict[object, Relation] = {}
-    for index, query in enumerate(queries):
-        evaluated = cache.evaluate(query, database, name=result_name)
-        fingerprint = result_fingerprint(evaluated, set_semantics=set_semantics)
+    for index in range(len(queries)):
+        fingerprint = batch.fingerprints[index]
         if fingerprint not in buckets:
             buckets[fingerprint] = []
-            results[fingerprint] = evaluated
+            results[fingerprint] = batch.results[index]
         buckets[fingerprint].append(index)
     groups = []
     for fingerprint, indexes in buckets.items():

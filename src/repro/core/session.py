@@ -32,6 +32,7 @@ from repro.qbo.config import QBOConfig
 from repro.qbo.generator import QueryGenerator
 from repro.qbo.mutation import expand_candidate_set
 from repro.relational.database import Database
+from repro.relational.evaluator import JoinCache
 from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
 
@@ -127,7 +128,12 @@ class QFESession:
         self.config = config or QFEConfig()
         self.qbo_config = qbo_config or QBOConfig()
         self._provided_candidates = list(candidates) if candidates is not None else None
-        self._generator = DatabaseGenerator(self.config, score=score)
+        # One join cache for the whole session: the original database's
+        # foreign-key join (and its columnar term masks) is built once and
+        # reused by every iteration's Database Generator run and by candidate
+        # replenishment. The session never mutates ``self.database``.
+        self.join_cache = JoinCache()
+        self._generator = DatabaseGenerator(self.config, score=score, join_cache=self.join_cache)
         self.last_rounds: list[FeedbackRound] = []
 
     # -------------------------------------------------------------- candidates
@@ -151,6 +157,7 @@ class QFESession:
             current,
             target_size=len(current) * 2 + 5,
             set_semantics=self.config.set_semantics,
+            join_cache=self.join_cache,
         )
         return expanded
 

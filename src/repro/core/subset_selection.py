@@ -72,6 +72,10 @@ def pick_stc_dtc_subset(
     simulator = simulator or PairSetSimulator(space, result_arity=result_arity)
     max_sets_per_level = max_sets_per_level or config.max_sets_per_level
     pairs = list(skyline_pairs)
+    # The single-pair scoring below populates the simulator's per-pair cache
+    # (one compiled-predicate match vector per distinct tuple class, covering
+    # all candidates at once); the frontier growth then only combines cached
+    # per-pair reaction keys.
     sets_evaluated = 0
 
     best_sets: list[tuple[frozenset[int], PairSetEffect, CostBreakdown]] = []

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
 from repro.relational.join import JoinedRelation
-from repro.relational.predicates import Term
+from repro.relational.predicates import Term, compile_predicate
 from repro.relational.query import SPJQuery
 from repro.relational.types import value_sort_key
 
@@ -273,7 +273,11 @@ class TupleClassSpace:
         self._row_classes: list[TupleClass] = []
         self._class_rows: dict[TupleClass, list[int]] = {}
         self._assign_rows()
-        self._match_cache: dict[tuple[int, TupleClass], bool] = {}
+        self._slot_of_attribute = {
+            attribute: slot for slot, attribute in enumerate(self.selection_attributes)
+        }
+        self._compiled_predicates: list | None = None
+        self._match_vector_cache: dict[TupleClass, tuple[bool, ...]] = {}
 
     # ------------------------------------------------------------------ build
     @staticmethod
@@ -285,18 +289,24 @@ class TupleClassSpace:
         return tuple(ordered)
 
     def _assign_rows(self) -> None:
-        positions = {
-            attribute: self.joined.relation.schema.index_of(attribute)
+        # Column-at-a-time: map each selection attribute's column to subset
+        # indexes through the shared columnar view (one value-cache lookup per
+        # cell, no per-row attribute indirection), then zip the index columns
+        # back into per-row tuple classes.
+        view = self.joined.columnar()
+        index_columns = [
+            [self.partitions[attribute].subset_of_value(value) for value in view.column(attribute)]
             for attribute in self.selection_attributes
-        }
-        for row in self.joined.relation.tuples:
-            indexes = tuple(
-                self.partitions[attribute].subset_of_value(row.values[positions[attribute]])
-                for attribute in self.selection_attributes
-            )
-            tuple_class = TupleClass(indexes)
+        ]
+        row_count = len(self.joined)
+        if index_columns:
+            per_row = zip(*index_columns)
+        else:
+            per_row = (() for _ in range(row_count))
+        for position, indexes in enumerate(per_row):
+            tuple_class = TupleClass(tuple(indexes))
             self._row_classes.append(tuple_class)
-            self._class_rows.setdefault(tuple_class, []).append(len(self._row_classes) - 1)
+            self._class_rows.setdefault(tuple_class, []).append(position)
 
     # ----------------------------------------------------------------- access
     @property
@@ -330,23 +340,41 @@ class TupleClassSpace:
             values[attribute] = self.partitions[attribute].subset(index).representative()
         return values
 
-    def matches(self, query_index: int, tuple_class: TupleClass) -> bool:
-        """Whether the candidate query at *query_index* matches the tuple class.
+    def _compiled(self) -> list:
+        # Each candidate's predicate compiled once into a positional closure
+        # over the selection-attribute slots (the shared compile cache means
+        # terms common to several candidates compile a single time).
+        if self._compiled_predicates is None:
+            self._compiled_predicates = [
+                compile_predicate(query.predicate, self._slot_of_attribute)
+                for query in self.queries
+            ]
+        return self._compiled_predicates
+
+    def match_vector(self, tuple_class: TupleClass) -> tuple[bool, ...]:
+        """Whether each candidate query matches the tuple class, for all candidates.
 
         By construction every term of every candidate is constant on each
-        domain subset, so evaluating the predicate on the class's
-        representative values decides it for all tuples of the class.
+        domain subset, so evaluating the compiled predicates on the class's
+        representative values (one per selection-attribute slot) decides it
+        for all tuples of the class. Computed once per class and cached — the
+        pair-set simulators of Algorithms 3/4 probe the same classes for every
+        candidate.
         """
-        key = (query_index, tuple_class)
-        if key in self._match_cache:
-            return self._match_cache[key]
-        query = self.queries[query_index]
-        row = self.representative_values(tuple_class)
-        # The representative values cover every selection attribute of every
-        # candidate, so the query's predicate can be evaluated directly.
-        result = True if query.predicate.is_true else query.predicate.evaluate_row(row)
-        self._match_cache[key] = result
-        return result
+        cached = self._match_vector_cache.get(tuple_class)
+        if cached is not None:
+            return cached
+        values = tuple(
+            self.partitions[attribute].subset(index).representative()
+            for attribute, index in zip(self.selection_attributes, tuple_class.subset_indexes)
+        )
+        vector = tuple(predicate(values) for predicate in self._compiled())
+        self._match_vector_cache[tuple_class] = vector
+        return vector
+
+    def matches(self, query_index: int, tuple_class: TupleClass) -> bool:
+        """Whether the candidate query at *query_index* matches the tuple class."""
+        return self.match_vector(tuple_class)[query_index]
 
     # ------------------------------------------------------------ enumeration
     def destination_classes(self, source: TupleClass, modified_slots: int) -> Iterator[TupleClass]:

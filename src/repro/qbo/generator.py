@@ -29,7 +29,7 @@ from repro.qbo.labeling import label_rows
 from repro.qbo.projection import candidate_projections
 from repro.qbo.search import search_conjunctions, search_dnf_covers
 from repro.relational.database import Database
-from repro.relational.evaluator import evaluate_on_join, results_equal
+from repro.relational.evaluator import evaluate_batch, result_fingerprint
 from repro.relational.join import foreign_key_join
 from repro.relational.predicates import DNFPredicate
 from repro.relational.query import SPJQuery
@@ -76,6 +76,7 @@ class QueryGenerator:
         report = GenerationReport()
         started = perf_counter()
         candidates: dict[tuple, SPJQuery] = {}
+        target_fingerprint = result_fingerprint(result, set_semantics=set_semantics)
 
         for join_tables in enumerate_join_schemas(database.schema, config):
             report.join_schemas_tried += 1
@@ -97,6 +98,7 @@ class QueryGenerator:
                     join_tables,
                     projection,
                     set_semantics,
+                    target_fingerprint,
                     candidates,
                     report,
                 )
@@ -144,6 +146,7 @@ class QueryGenerator:
         join_tables: tuple[str, ...],
         projection: tuple[str, ...],
         set_semantics: bool,
+        target_fingerprint,
         candidates: dict,
         report: GenerationReport,
     ) -> None:
@@ -194,21 +197,42 @@ class QueryGenerator:
                     seen_predicates.add(key)
                     predicates.append(predicate)
 
+        # Verify all assembled queries in one columnar batch over the shared
+        # join: every distinct selection term is evaluated once per column,
+        # and queries selecting identical rows share one materialized result
+        # and fingerprint. Bag/set fingerprint equality is exactly bag/set
+        # result equality, so comparing against the target fingerprint is the
+        # same check ``results_equal`` performed row-at-a-time before.
+        pending: list[tuple[tuple, SPJQuery]] = []
+        pending_keys: set = set()
         for predicate in predicates:
             query = SPJQuery(join_tables, projection, predicate)
             key = query.canonical_key()
-            if key in candidates:
+            if key in candidates or key in pending_keys:
                 continue
+            pending_keys.add(key)
+            pending.append((key, query))
+        if not pending:
+            return
+        batch = evaluate_batch(
+            [query for _, query in pending],
+            joined,
+            database,
+            set_semantics=set_semantics,
+            name=result.schema.name,
+        )
+        for (key, query), fingerprint in zip(pending, batch.fingerprints):
             report.predicates_verified += 1
-            produced = evaluate_on_join(query, joined, database, name=result.schema.name)
-            if results_equal(produced, result, set_semantics=set_semantics):
+            if fingerprint == target_fingerprint:
                 candidates[key] = query
                 if config.include_distinct_variants and not set_semantics:
+                    # The distinct variant reuses the cached predicate mask;
+                    # only the deduplicated gather is new work.
                     distinct_query = query.with_distinct(True)
-                    produced_distinct = evaluate_on_join(
-                        distinct_query, joined, database, name=result.schema.name
+                    distinct_batch = evaluate_batch(
+                        [distinct_query], joined, database, name=result.schema.name
                     )
-                    if results_equal(produced_distinct, result):
+                    if distinct_batch.fingerprints[0] == target_fingerprint:
                         candidates[distinct_query.canonical_key()] = distinct_query
             else:
                 report.predicates_rejected += 1

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.relational.database import Database
-from repro.relational.evaluator import JoinCache, results_equal
+from repro.relational.evaluator import JoinCache, result_fingerprint
 from repro.relational.predicates import ComparisonOp, Conjunct, DNFPredicate, Term
 from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
@@ -51,6 +51,18 @@ def _mutated_terms(term: Term, database: Database, query: SPJQuery) -> Iterator[
                     yield term.with_constant(value)
 
 
+def _mutants_of(parent: SPJQuery, database: Database) -> Iterator[SPJQuery]:
+    """All single-constant mutants of *parent*, in deterministic order."""
+    for conjunct_index, conjunct in enumerate(parent.predicate.conjuncts):
+        for term_index, term in enumerate(conjunct.terms):
+            for mutated_term in _mutated_terms(term, database, parent):
+                new_terms = list(conjunct.terms)
+                new_terms[term_index] = mutated_term
+                new_conjuncts = list(parent.predicate.conjuncts)
+                new_conjuncts[conjunct_index] = Conjunct(tuple(new_terms))
+                yield parent.with_predicate(DNFPredicate(tuple(new_conjuncts)))
+
+
 def mutate_candidates(
     database: Database,
     result: Relation,
@@ -58,34 +70,40 @@ def mutate_candidates(
     *,
     limit: int,
     set_semantics: bool = False,
+    join_cache: JoinCache | None = None,
 ) -> list[SPJQuery]:
     """Generate up to *limit* additional result-preserving mutants of *candidates*.
 
     Each mutant differs from its parent in exactly one selection-predicate
-    constant and still satisfies ``Q(D) = R`` (verified by evaluation).
+    constant and still satisfies ``Q(D) = R`` (verified by evaluation). All of
+    a parent's mutants are verified in one columnar batch over the shared
+    join: a mutant changes a single constant, so every unchanged term's mask
+    is a cache hit and only the mutated term's column is rescanned.
     """
-    cache = JoinCache()
+    cache = join_cache if join_cache is not None else JoinCache()
+    target_fingerprint = result_fingerprint(result, set_semantics=set_semantics)
     existing = {query.canonical_key() for query in candidates}
     mutants: list[SPJQuery] = []
     for parent in candidates:
-        for conjunct_index, conjunct in enumerate(parent.predicate.conjuncts):
-            for term_index, term in enumerate(conjunct.terms):
-                for mutated_term in _mutated_terms(term, database, parent):
-                    new_terms = list(conjunct.terms)
-                    new_terms[term_index] = mutated_term
-                    new_conjuncts = list(parent.predicate.conjuncts)
-                    new_conjuncts[conjunct_index] = Conjunct(tuple(new_terms))
-                    mutant = parent.with_predicate(DNFPredicate(tuple(new_conjuncts)))
-                    key = mutant.canonical_key()
-                    if key in existing:
-                        continue
-                    produced = cache.evaluate(mutant, database, name=result.schema.name)
-                    if not results_equal(produced, result, set_semantics=set_semantics):
-                        continue
-                    existing.add(key)
-                    mutants.append(mutant)
-                    if len(mutants) >= limit:
-                        return mutants
+        pending: list[SPJQuery] = []
+        for mutant in _mutants_of(parent, database):
+            key = mutant.canonical_key()
+            if key in existing:
+                continue
+            existing.add(key)
+            pending.append(mutant)
+        if not pending:
+            continue
+        batch = cache.evaluate_batch(
+            pending, database, set_semantics=set_semantics, name=result.schema.name
+        )
+        for mutant, fingerprint in zip(pending, batch.fingerprints):
+            if fingerprint != target_fingerprint:
+                existing.discard(mutant.canonical_key())
+                continue
+            mutants.append(mutant)
+            if len(mutants) >= limit:
+                return mutants
     return mutants
 
 
@@ -96,17 +114,24 @@ def expand_candidate_set(
     target_size: int,
     *,
     set_semantics: bool = False,
+    join_cache: JoinCache | None = None,
 ) -> list[SPJQuery]:
     """Grow the candidate list to *target_size* queries by constant mutation.
 
     Returns the original candidates followed by verified mutants; if not
     enough result-preserving mutants exist the list may stay shorter than the
-    target.
+    target. A caller-provided *join_cache* (e.g. the session's) lets mutant
+    verification reuse the original database's joins and term masks.
     """
     if len(candidates) >= target_size:
         return list(candidates[:target_size])
     needed = target_size - len(candidates)
     mutants = mutate_candidates(
-        database, result, candidates, limit=needed, set_semantics=set_semantics
+        database,
+        result,
+        candidates,
+        limit=needed,
+        set_semantics=set_semantics,
+        join_cache=join_cache,
     )
     return list(candidates) + mutants

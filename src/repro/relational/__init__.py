@@ -7,6 +7,7 @@ joins with join indexes and provenance, SPJ/SPJU query evaluation, the Section
 checking.
 """
 
+from repro.relational.columnar import ColumnarView
 from repro.relational.database import Database
 from repro.relational.delta import DatabaseDelta, ResultDelta, database_delta, result_delta
 from repro.relational.edit import (
@@ -18,9 +19,25 @@ from repro.relational.edit import (
     min_edit_script,
     tuple_distance,
 )
-from repro.relational.evaluator import JoinCache, evaluate, evaluate_on_join, results_equal
+from repro.relational.evaluator import (
+    BatchEvaluation,
+    JoinCache,
+    evaluate,
+    evaluate_batch,
+    evaluate_on_join,
+    evaluate_on_join_reference,
+    results_equal,
+)
 from repro.relational.join import JoinedRelation, foreign_key_join, full_join
-from repro.relational.predicates import ComparisonOp, Conjunct, DNFPredicate, Term, always_true
+from repro.relational.predicates import (
+    ComparisonOp,
+    Conjunct,
+    DNFPredicate,
+    Term,
+    always_true,
+    compile_predicate,
+    compile_term,
+)
 from repro.relational.query import SPJQuery, SPJUQuery
 from repro.relational.relation import Relation, Tuple
 from repro.relational.schema import Attribute, DatabaseSchema, ForeignKey, TableSchema, qualify
@@ -43,8 +60,14 @@ __all__ = [
     "always_true",
     "SPJQuery",
     "SPJUQuery",
+    "compile_term",
+    "compile_predicate",
+    "ColumnarView",
     "evaluate",
     "evaluate_on_join",
+    "evaluate_on_join_reference",
+    "evaluate_batch",
+    "BatchEvaluation",
     "results_equal",
     "JoinCache",
     "JoinedRelation",

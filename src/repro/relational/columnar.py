@@ -1,0 +1,252 @@
+"""Columnar, late-materialized views of relations and joins.
+
+The QFE inner loop evaluates every surviving candidate query on every freshly
+generated modified database. All candidates share one foreign-key join, and
+most of them share selection terms, so the natural execution shape is
+column-major: build per-attribute value arrays once per database instance,
+evaluate each *distinct* term once per column into a row-selection mask, and
+combine the cached masks per candidate with bitwise AND/OR.
+
+Masks are arbitrary-precision integers (bit ``i`` set ⇔ joined row ``i``
+selected). Python's big-int bitwise operations run at C speed, which makes
+combining masks for a candidate essentially free once its terms are cached;
+only the final gather of selected rows is proportional to the result size
+(late materialization).
+
+:class:`ColumnarView` carries the term-level mask cache, keyed on
+``Term.mask_key()`` — ``(attribute, op, normalized constant)`` — so the many
+QBO-generated candidates that share terms evaluate each distinct term exactly
+once per join. Views are built from an immutable snapshot of a relation: if
+the underlying database copy is modified, the view must be invalidated and
+rebuilt (see ``JoinedRelation.invalidate_columnar`` and
+``JoinCache.invalidate``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.exceptions import EvaluationError
+from repro.relational.predicates import Conjunct, DNFPredicate, Term, compile_term
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (join imports us lazily)
+    from repro.relational.relation import Relation
+
+__all__ = ["ColumnarView", "pack_bools", "mask_positions", "mask_count"]
+
+#: Bits packed per inner chunk while building a mask; keeps every shift small
+#: so packing a column of n values costs O(n) word operations, not O(n²/64).
+_PACK_CHUNK = 256
+
+
+def pack_bools(flags: Sequence[Any]) -> int:
+    """Pack a sequence of truthy/falsy flags into an integer bitmask.
+
+    Bit ``i`` of the result is set exactly when ``flags[i]`` is truthy.
+    """
+    mask = 0
+    for start in range(0, len(flags), _PACK_CHUNK):
+        chunk = 0
+        for offset, flag in enumerate(flags[start : start + _PACK_CHUNK]):
+            if flag:
+                chunk |= 1 << offset
+        if chunk:
+            mask |= chunk << start
+    return mask
+
+
+def mask_positions(mask: int) -> list[int]:
+    """Row positions of all set bits, ascending (O(row count) overall)."""
+    if mask == 0:
+        return []
+    bits = bin(mask)  # '0b1...' — character at index i (i >= 2) is bit len-1-i
+    highest = len(bits) - 1
+    positions = [highest - i for i, ch in enumerate(bits) if ch == "1"]
+    positions.reverse()
+    return positions
+
+
+def mask_count(mask: int) -> int:
+    """Number of selected rows in a mask."""
+    return mask.bit_count()
+
+
+class ColumnarView:
+    """Column-major view of a relation plus the shared term-mask cache.
+
+    The view snapshots the relation's tuples at construction time; it does not
+    observe later modifications of the relation. Callers that mutate a
+    database instance whose join/view is cached must invalidate first.
+
+    Error semantics replicate the row-at-a-time interpreter's short-circuit
+    behaviour exactly: a term that cannot be evaluated for some row (e.g. an
+    incomparable value/constant pair, or a missing attribute) only raises if
+    that row actually *reaches* the term — i.e. the row passed every earlier
+    term of its conjunct and was not already satisfied by an earlier conjunct.
+    Term entries therefore carry an error mask alongside the truth mask.
+    """
+
+    __slots__ = ("names", "row_count", "_index", "_columns", "_term_masks", "_all_rows_mask")
+
+    def __init__(self, relation: "Relation") -> None:
+        self.names: tuple[str, ...] = relation.schema.attribute_names
+        self._index = {name: position for position, name in enumerate(self.names)}
+        tuples = relation.tuples
+        self.row_count = len(tuples)
+        if tuples:
+            self._columns: list[tuple[Any, ...]] = list(zip(*(t.values for t in tuples)))
+        else:
+            self._columns = [() for _ in self.names]
+        self._term_masks: dict[tuple, int] = {}
+        self._all_rows_mask = (1 << self.row_count) - 1
+
+    # ------------------------------------------------------------------ columns
+    def index_of(self, attribute: str) -> int:
+        """Position of a qualified attribute (raises EvaluationError if absent)."""
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise EvaluationError(f"row has no attribute {attribute!r}") from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Whether the view carries a column for *attribute*."""
+        return attribute in self._index
+
+    def column(self, attribute: str) -> tuple[Any, ...]:
+        """All values of *attribute*, in row order."""
+        return self._columns[self.index_of(attribute)]
+
+    @property
+    def all_rows_mask(self) -> int:
+        """The mask selecting every row (the always-true predicate)."""
+        return self._all_rows_mask
+
+    @property
+    def cached_term_count(self) -> int:
+        """How many distinct term masks are currently cached (diagnostics)."""
+        return len(self._term_masks)
+
+    # -------------------------------------------------------------------- masks
+    def _term_entry(self, term: Term) -> tuple[int, int, EvaluationError | None]:
+        """``(truth mask, error mask, representative error)`` for one term.
+
+        Bit ``i`` of the error mask is set when evaluating the term on row
+        ``i`` raised; whether that raise surfaces depends on reachability,
+        which the conjunct/predicate combinators decide.
+        """
+        try:
+            key = term.mask_key()
+            entry = self._term_masks.get(key)
+        except TypeError:  # unhashable constant: evaluate without caching
+            key = None
+            entry = None
+        if entry is None:
+            entry = self._build_term_entry(term)
+            if key is not None:
+                self._term_masks[key] = entry
+        return entry
+
+    def _build_term_entry(self, term: Term) -> tuple[int, int, EvaluationError | None]:
+        if self.row_count == 0:
+            # The interpreter never evaluates anything on an empty relation,
+            # so even a missing attribute goes unnoticed there.
+            return (0, 0, None)
+        try:
+            column = self._columns[self.index_of(term.attribute)]
+        except EvaluationError as exc:
+            return (0, self._all_rows_mask, exc)  # erroring on every row
+        test = compile_term(term)
+        try:
+            return (pack_bools([test(value) for value in column]), 0, None)
+        except EvaluationError:
+            # Rare path: some rows are incomparable — record them per row.
+            truth_flags: list[bool] = []
+            error_flags: list[bool] = []
+            first_error: EvaluationError | None = None
+            for value in column:
+                try:
+                    truth_flags.append(test(value))
+                    error_flags.append(False)
+                except EvaluationError as exc:
+                    truth_flags.append(False)
+                    error_flags.append(True)
+                    if first_error is None:
+                        first_error = exc
+            return (pack_bools(truth_flags), pack_bools(error_flags), first_error)
+
+    def term_mask(self, term: Term) -> int:
+        """The row-selection mask of one term evaluated standalone on all rows.
+
+        Raises :class:`EvaluationError` if the term cannot be evaluated on
+        *any* row — matching the interpreter applying the term to every row.
+        """
+        mask, error_mask, error = self._term_entry(term)
+        if error_mask:
+            raise error  # type: ignore[misc]  # error is set whenever error_mask is
+        return mask
+
+    def conjunct_mask(self, conjunct: Conjunct, pending: int | None = None) -> int:
+        """AND of the conjunct's term masks (empty conjunct selects all rows).
+
+        *pending* restricts evaluation to a subset of rows (used by
+        :meth:`predicate_mask` for OR-level short-circuiting). A term's
+        evaluation error surfaces only if an erroring row is still alive when
+        the term is reached — exactly the interpreter's left-to-right,
+        short-circuit semantics.
+        """
+        alive = self._all_rows_mask if pending is None else pending
+        for term in conjunct.terms:
+            mask, error_mask, error = self._term_entry(term)
+            if error_mask & alive:
+                raise error  # type: ignore[misc]
+            alive &= mask
+            if not alive:
+                break
+        return alive
+
+    def predicate_mask(self, predicate: DNFPredicate) -> int:
+        """OR of the conjunct masks (the always-true predicate selects all rows).
+
+        Rows already satisfied by an earlier conjunct are excluded from later
+        conjuncts' evaluation, mirroring ``any()``'s short-circuit in the
+        interpreter (a later conjunct's error on such a row never surfaces).
+        """
+        if predicate.is_true:
+            return self._all_rows_mask
+        satisfied = 0
+        remaining = self._all_rows_mask
+        for conjunct in predicate.conjuncts:
+            if not remaining:
+                break
+            satisfied |= self.conjunct_mask(conjunct, remaining)
+            remaining = self._all_rows_mask & ~satisfied
+        return satisfied
+
+    def selected_positions(self, predicate: DNFPredicate) -> list[int]:
+        """Row positions satisfying *predicate*, ascending."""
+        mask = self.predicate_mask(predicate)
+        if mask == self._all_rows_mask:
+            return list(range(self.row_count))
+        return mask_positions(mask)
+
+    # ------------------------------------------------------------------- gather
+    def gather(self, mask: int, positions: Sequence[int]) -> list[tuple[Any, ...]]:
+        """Materialize the rows selected by *mask*, projected to *positions*."""
+        columns = [self._columns[p] for p in positions]
+        if mask == self._all_rows_mask:
+            return list(zip(*columns)) if columns else [() for _ in range(self.row_count)]
+        selected = mask_positions(mask)
+        return [tuple(column[row] for column in columns) for row in selected]
+
+    def clear_term_masks(self) -> None:
+        """Drop the cached term masks (the columns themselves are immutable)."""
+        self._term_masks.clear()
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnarView({len(self.names)} columns, {self.row_count} rows, "
+            f"{len(self._term_masks)} cached masks)"
+        )

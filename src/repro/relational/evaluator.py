@@ -7,6 +7,17 @@ evaluate many candidate queries over the *same* join — the evaluator also
 accepts a pre-joined :class:`~repro.relational.join.JoinedRelation` so the
 join is computed once per database instance.
 
+Execution is columnar and late-materialized: predicates are compiled into
+column-wise mask evaluators (:mod:`repro.relational.columnar`), distinct
+selection terms are evaluated once per join and cached as bitmasks, and each
+candidate only pays for combining cached masks plus gathering its selected
+rows. :func:`evaluate_batch` evaluates a whole candidate set in a single pass
+over the join, sharing term masks *and* deduplicating result materialization
+and fingerprinting between candidates that select identical rows. The
+original row-at-a-time implementation is retained as
+:func:`evaluate_on_join_reference` — the oracle the differential tests hold
+the columnar engine against.
+
 Bag semantics (duplicate-preserving) is the default, matching the paper's
 Section 5 assumption; ``distinct=True`` on a query switches to set semantics
 (Section 6.1).
@@ -14,9 +25,12 @@ Section 5 assumption; ``distinct=True`` on a query switches to set semantics
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+import weakref
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
 
 from repro.exceptions import UnsupportedQueryError
+from repro.relational.columnar import ColumnarView, mask_positions
 from repro.relational.database import Database
 from repro.relational.join import JoinedRelation, foreign_key_join
 from repro.relational.query import SPJQuery, SPJUQuery
@@ -26,6 +40,9 @@ from repro.relational.schema import Attribute, TableSchema
 __all__ = [
     "evaluate",
     "evaluate_on_join",
+    "evaluate_on_join_reference",
+    "evaluate_batch",
+    "BatchEvaluation",
     "result_schema",
     "results_equal",
     "result_fingerprint",
@@ -52,24 +69,70 @@ def evaluate(query: SPJQuery | SPJUQuery, database: Database, *, name: str = "Re
     return evaluate_on_join(query, joined, database, name=name)
 
 
+def _check_join_covers(query: SPJQuery, joined: JoinedRelation) -> None:
+    missing = set(query.tables) - set(joined.tables)
+    if missing:
+        raise UnsupportedQueryError(
+            f"pre-joined relation lacks tables {sorted(missing)} required by the query"
+        )
+
+
 def evaluate_on_join(
     query: SPJQuery,
     joined: JoinedRelation,
     database: Database,
     *,
     name: str = "Result",
+    columnar: ColumnarView | None = None,
 ) -> Relation:
     """Execute an SPJ query against a pre-materialized join of its tables.
 
     The join must cover every table the query references (a superset join is
     allowed, which is how QFE evaluates all candidates over the single full
-    foreign-key join ``T``).
+    foreign-key join ``T``). Execution is columnar: the selection predicate is
+    evaluated column-wise into a row mask (shared term masks are cached on the
+    join's :class:`~repro.relational.columnar.ColumnarView`) and only the
+    selected rows are materialized.
     """
-    missing = set(query.tables) - set(joined.tables)
-    if missing:
-        raise UnsupportedQueryError(
-            f"pre-joined relation lacks tables {sorted(missing)} required by the query"
-        )
+    _check_join_covers(query, joined)
+    schema = result_schema(query, database, name=name)
+    projection_positions = [joined.relation.schema.index_of(a) for a in query.projection]
+    view = columnar if columnar is not None else joined.columnar()
+    mask = view.predicate_mask(query.predicate)
+    return _materialize_selection(view, mask, projection_positions, schema, query.distinct)
+
+
+def _materialize_selection(
+    view: ColumnarView,
+    mask: int,
+    projection_positions: Sequence[int],
+    schema: TableSchema,
+    distinct: bool,
+) -> Relation:
+    output = Relation(schema)
+    rows = view.gather(mask, projection_positions)
+    if distinct:
+        rows = _distinct_rows(rows)
+    # Projected values are verbatim copies of already-coerced stored values,
+    # so the raw append path is safe (and skips per-cell coercion).
+    output.extend_raw(rows)
+    return output
+
+
+def evaluate_on_join_reference(
+    query: SPJQuery,
+    joined: JoinedRelation,
+    database: Database,
+    *,
+    name: str = "Result",
+) -> Relation:
+    """Row-at-a-time reference implementation of :func:`evaluate_on_join`.
+
+    Kept as the oracle for differential tests of the columnar engine: it
+    builds a ``name -> value`` mapping per joined row and interprets the DNF
+    predicate on it, exactly as the original evaluator did.
+    """
+    _check_join_covers(query, joined)
     schema = result_schema(query, database, name=name)
     output = Relation(schema)
     names = joined.relation.schema.attribute_names
@@ -88,6 +151,75 @@ def evaluate_on_join(
             seen.add(key)
         output.insert(projected)
     return output
+
+
+@dataclass(frozen=True)
+class BatchEvaluation:
+    """Results (and optional fingerprints) of evaluating many candidates at once.
+
+    ``results[i]`` / ``fingerprints[i]`` correspond to the *i*-th query passed
+    to :func:`evaluate_batch`. Candidates that select identical rows under the
+    same projection share one :class:`Relation` instance and one fingerprint —
+    callers must treat the result relations as read-only.
+    """
+
+    results: tuple[Relation, ...]
+    fingerprints: tuple[Any, ...] | None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def evaluate_batch(
+    queries: Sequence[SPJQuery],
+    joined: JoinedRelation,
+    database: Database,
+    *,
+    set_semantics: bool = False,
+    name: str = "Result",
+    with_fingerprints: bool = True,
+    columnar: ColumnarView | None = None,
+) -> BatchEvaluation:
+    """Evaluate all *queries* over one pre-materialized join in a single pass.
+
+    Term masks are shared across candidates through the join's columnar view,
+    and candidates whose (selection mask, projection, distinct) coincide share
+    the materialized result and its fingerprint — so a batch of ``q`` queries
+    with ``t`` distinct terms and ``g`` distinct results costs ``O(t)`` column
+    scans plus ``O(g)`` result materializations, not ``O(q)`` of each.
+    """
+    view = columnar if columnar is not None else joined.columnar()
+    join_schema = joined.relation.schema
+    results: list[Relation] = []
+    fingerprints: list[Any] = []
+    shared: dict[tuple, tuple[Relation, Any]] = {}
+    for query in queries:
+        _check_join_covers(query, joined)
+        projection_positions = tuple(join_schema.index_of(a) for a in query.projection)
+        mask = view.predicate_mask(query.predicate)
+        key = (mask, projection_positions, query.distinct)
+        cached = shared.get(key)
+        if cached is None:
+            result = _materialize_selection(
+                view,
+                mask,
+                projection_positions,
+                result_schema(query, database, name=name),
+                query.distinct,
+            )
+            fingerprint = (
+                result_fingerprint(result, set_semantics=set_semantics)
+                if with_fingerprints
+                else None
+            )
+            cached = (result, fingerprint)
+            shared[key] = cached
+        results.append(cached[0])
+        fingerprints.append(cached[1])
+    return BatchEvaluation(
+        results=tuple(results),
+        fingerprints=tuple(fingerprints) if with_fingerprints else None,
+    )
 
 
 def _evaluate_union(query: SPJUQuery, database: Database, *, name: str) -> Relation:
@@ -114,6 +246,18 @@ def _normalize(row: Iterable[Any]) -> tuple:
     )
 
 
+def _distinct_rows(rows: list[tuple[Any, ...]]) -> list[tuple[Any, ...]]:
+    seen: set[tuple] = set()
+    unique: list[tuple[Any, ...]] = []
+    for row in rows:
+        key = _normalize(row)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(row)
+    return unique
+
+
 def results_equal(left: Relation, right: Relation, *, set_semantics: bool = False) -> bool:
     """Whether two result relations are equal under bag (default) or set semantics."""
     if set_semantics:
@@ -122,10 +266,21 @@ def results_equal(left: Relation, right: Relation, *, set_semantics: bool = Fals
 
 
 def result_fingerprint(result: Relation, *, set_semantics: bool = False) -> frozenset | tuple:
-    """A hashable fingerprint of a result used to group equivalent candidate queries."""
+    """A hashable fingerprint of a result used to group equivalent candidate queries.
+
+    Fingerprint equality is exactly bag (resp. set) equality of the results:
+    the bag fingerprint is the multiset of normalized rows under a total,
+    content-only ordering, so equal bags always produce equal fingerprints
+    regardless of row order.
+    """
     if set_semantics:
         return result.set_of_rows()
-    return tuple(sorted(result.bag_of_rows().items(), key=lambda item: tuple(map(_sort_key, item[0]))))
+    return tuple(
+        sorted(
+            result.bag_of_rows().items(),
+            key=lambda item: (tuple(map(_sort_key, item[0])), repr(item[0])),
+        )
+    )
 
 
 def _sort_key(value: Any) -> tuple:
@@ -139,24 +294,62 @@ def _sort_key(value: Any) -> tuple:
 
 
 class JoinCache:
-    """Caches materialized joins per (database identity, table set).
+    """Caches materialized joins — and their columnar views — per database.
 
     QFE evaluates every surviving candidate on each newly generated modified
     database; candidates share at most a handful of distinct join schemas, so
     caching the join per database instance removes the dominant recomputation.
-    The cache is keyed on ``id(database)`` and therefore must only be used
-    while the database instance is not mutated (QFE always works on copies).
+    Each cached :class:`JoinedRelation` lazily carries a
+    :class:`~repro.relational.columnar.ColumnarView` whose term-mask cache is
+    shared by every candidate evaluated through the cache.
+
+    The cache is keyed on ``id(database)``. A weakref finalizer evicts all of
+    a database's entries the moment the instance is garbage-collected, so a
+    recycled id can never alias a dead database's joins — a long-lived cache
+    (e.g. on a reused :class:`~repro.core.database_generator.DatabaseGenerator`)
+    stays correct across many database instances. What the cache cannot see
+    is *in-place modification* of a live database it holds joins for; call
+    :meth:`invalidate` in that case and the stale join and its columnar view
+    are dropped together (QFE itself always works on fresh copies).
     """
 
     def __init__(self) -> None:
         self._cache: dict[tuple[int, tuple[str, ...]], JoinedRelation] = {}
+        self._finalizers: dict[int, weakref.finalize] = {}
 
     def join_for(self, database: Database, tables: Iterable[str]) -> JoinedRelation:
         """Return (and memoize) the foreign-key join of *tables* on *database*."""
         key = (id(database), tuple(sorted(tables)))
         if key not in self._cache:
             self._cache[key] = foreign_key_join(database, list(tables))
+            self._watch(database)
         return self._cache[key]
+
+    def _watch(self, database: Database) -> None:
+        """Evict the database's entries when it is deallocated (id-reuse guard)."""
+        database_id = id(database)
+        if database_id in self._finalizers:
+            return
+        cache_ref = weakref.ref(self)  # the finalizer must not keep the cache alive
+
+        def evict(database_id: int = database_id) -> None:
+            cache = cache_ref()
+            if cache is not None:
+                cache._drop(database_id)
+
+        self._finalizers[database_id] = weakref.finalize(database, evict)
+
+    def _drop(self, database_id: int) -> None:
+        finalizer = self._finalizers.pop(database_id, None)
+        if finalizer is not None:
+            finalizer.detach()
+        stale = [key for key in self._cache if key[0] == database_id]
+        for key in stale:
+            self._cache.pop(key).invalidate_columnar()
+
+    def columnar_for(self, database: Database, tables: Iterable[str]) -> ColumnarView:
+        """The columnar view (with shared term-mask cache) of a cached join."""
+        return self.join_for(database, tables).columnar()
 
     def evaluate(self, query: SPJQuery, database: Database, *, name: str = "Result") -> Relation:
         """Evaluate an SPJ query using the cached join for its table set."""
@@ -164,6 +357,64 @@ class JoinCache:
         joined = self.join_for(database, query.tables)
         return evaluate_on_join(query, joined, database, name=name)
 
+    def evaluate_batch(
+        self,
+        queries: Sequence[SPJQuery],
+        database: Database,
+        *,
+        set_semantics: bool = False,
+        name: str = "Result",
+        with_fingerprints: bool = True,
+    ) -> BatchEvaluation:
+        """Evaluate all *queries* on *database*, one shared pass per join schema.
+
+        Queries are grouped by their join signature; each group is evaluated
+        through :func:`evaluate_batch` over the cached join, so term masks,
+        result materialization and fingerprints are shared within each group.
+        Results come back in the order of *queries*.
+        """
+        results: list[Relation | None] = [None] * len(queries)
+        fingerprints: list[Any] = [None] * len(queries)
+        by_signature: dict[tuple[str, ...], list[int]] = {}
+        for index, query in enumerate(queries):
+            query.validate(database.schema)
+            by_signature.setdefault(query.join_signature, []).append(index)
+        for signature, indexes in by_signature.items():
+            joined = self.join_for(database, signature)
+            batch = evaluate_batch(
+                [queries[i] for i in indexes],
+                joined,
+                database,
+                set_semantics=set_semantics,
+                name=name,
+                with_fingerprints=with_fingerprints,
+            )
+            for local, index in enumerate(indexes):
+                results[index] = batch.results[local]
+                if with_fingerprints:
+                    fingerprints[index] = batch.fingerprints[local]
+        return BatchEvaluation(
+            results=tuple(results),  # type: ignore[arg-type]
+            fingerprints=tuple(fingerprints) if with_fingerprints else None,
+        )
+
+    def invalidate(self, database: Database) -> None:
+        """Drop every cached join (and columnar view) of *database*.
+
+        Must be called when a database instance that joins were cached for is
+        modified in place, so later evaluations rebuild from the new contents.
+        (Deallocation is handled automatically by a weakref finalizer.)
+        """
+        self._drop(id(database))
+
+    @property
+    def cached_join_count(self) -> int:
+        """Number of joins currently cached (diagnostics and tests)."""
+        return len(self._cache)
+
     def clear(self) -> None:
         """Drop all cached joins."""
+        for finalizer in self._finalizers.values():
+            finalizer.detach()
+        self._finalizers.clear()
         self._cache.clear()

@@ -43,6 +43,25 @@ class JoinedRelation:
         for position, row_provenance in enumerate(self.provenance):
             for table, tuple_id in row_provenance.items():
                 self._join_index.setdefault((table, tuple_id), []).append(position)
+        self._columnar = None
+
+    # --------------------------------------------------------------- columnar
+    def columnar(self):
+        """The (lazily built, memoized) columnar view of the joined relation.
+
+        The view snapshots the joined tuples and carries the shared term-mask
+        cache; call :meth:`invalidate_columnar` if the joined relation is ever
+        mutated after the view was built.
+        """
+        if self._columnar is None:
+            from repro.relational.columnar import ColumnarView  # avoid import cycle
+
+            self._columnar = ColumnarView(self.relation)
+        return self._columnar
+
+    def invalidate_columnar(self) -> None:
+        """Drop the memoized columnar view (and its term-mask cache)."""
+        self._columnar = None
 
     # ----------------------------------------------------------------- access
     @property

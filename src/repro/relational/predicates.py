@@ -23,11 +23,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from functools import lru_cache
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.exceptions import EvaluationError
 
-__all__ = ["ComparisonOp", "Term", "Conjunct", "DNFPredicate", "always_true"]
+__all__ = [
+    "ComparisonOp",
+    "Term",
+    "Conjunct",
+    "DNFPredicate",
+    "always_true",
+    "compile_term",
+    "compile_predicate",
+]
 
 
 class ComparisonOp(enum.Enum):
@@ -170,6 +179,20 @@ class Term:
     def with_constant(self, constant: Any) -> "Term":
         """A copy of the term with a different constant (used by mutation)."""
         return Term(self.attribute, self.op, constant)
+
+    def mask_key(self) -> tuple:
+        """A hashable identity for sharing column masks between candidates.
+
+        Numeric constants are normalized to ``float`` so that e.g.
+        ``salary > 60`` and ``salary > 60.0`` — which select exactly the same
+        rows — share one cached mask per columnar view.
+        """
+        constant = self.constant
+        if self.op.is_membership:
+            normalized: Any = tuple(_normalize_constant(c) for c in constant)
+        else:
+            normalized = _normalize_constant(constant)
+        return (self.attribute, self.op.value, normalized)
 
     def __str__(self) -> str:
         if self.op.is_membership:
@@ -315,3 +338,148 @@ class DNFPredicate:
 def always_true() -> DNFPredicate:
     """Convenience constructor for the unrestricted predicate."""
     return DNFPredicate.true()
+
+
+# ------------------------------------------------------------------ compilation
+#
+# The QFE inner loops evaluate the same small set of terms against thousands of
+# rows (and the same rows against dozens of candidate predicates). Compiling a
+# term into a single-argument closure hoists every constant-side type check out
+# of the per-value hot path; compiling a predicate against a name→position map
+# removes the per-row dict construction the row-at-a-time evaluator needed.
+# Compiled forms are behaviourally identical to ``Term.evaluate_value`` /
+# ``DNFPredicate.evaluate_row`` (NULL never satisfies a comparison, numeric
+# values compare as floats, incomparable values raise ``EvaluationError``).
+
+
+def _normalize_constant(constant: Any) -> Any:
+    if isinstance(constant, (int, float)) and not isinstance(constant, bool):
+        return float(constant)
+    return constant
+
+
+def _compile_membership(term: Term) -> Callable[[Any], bool]:
+    constants = tuple(term.constant)
+    negate = term.op is ComparisonOp.NOT_IN
+
+    def member(value: Any) -> bool:
+        if value is None:
+            return False
+        hit = any(_safe_eq(value, c) for c in constants)
+        return (not hit) if negate else hit
+
+    return member
+
+
+def _compile_equality(term: Term) -> Callable[[Any], bool]:
+    constant = term.constant
+    negate = term.op is ComparisonOp.NE
+    if isinstance(constant, (int, float)) and not isinstance(constant, bool):
+        as_float = float(constant)
+
+        def equal(value: Any) -> bool:
+            if value is None:
+                return False
+            if isinstance(value, bool):
+                hit = value == constant
+            elif isinstance(value, (int, float)):
+                hit = float(value) == as_float
+            else:
+                hit = value == constant
+            return (not hit) if negate else hit
+
+        return equal
+
+    def equal_plain(value: Any) -> bool:
+        if value is None:
+            return False
+        hit = value == constant
+        return (not hit) if negate else hit
+
+    return equal_plain
+
+
+def _compile_ordering(term: Term) -> Callable[[Any], bool]:
+    op = term.op
+    constant = term.constant
+    right = _as_comparable(constant)
+
+    def compare(value: Any) -> bool:
+        if value is None:
+            return False
+        left = _as_comparable(value)
+        try:
+            if op is ComparisonOp.LT:
+                return left < right
+            if op is ComparisonOp.LE:
+                return left <= right
+            if op is ComparisonOp.GT:
+                return left > right
+            return left >= right
+        except TypeError as exc:
+            raise EvaluationError(
+                f"cannot compare {value!r} {op.value} {constant!r}"
+            ) from exc
+
+    return compare
+
+
+@lru_cache(maxsize=8192)
+def _compile_term_cached(term: Term) -> Callable[[Any], bool]:
+    return _compile_term(term)
+
+
+def _compile_term(term: Term) -> Callable[[Any], bool]:
+    if term.op.is_membership:
+        return _compile_membership(term)
+    if term.op in (ComparisonOp.EQ, ComparisonOp.NE):
+        return _compile_equality(term)
+    return _compile_ordering(term)
+
+
+def compile_term(term: Term) -> Callable[[Any], bool]:
+    """Compile *term* into a ``value -> bool`` closure.
+
+    The closure is memoized per term (terms are immutable value objects), so
+    the many QBO-generated candidates that share terms compile each distinct
+    term once per process. Terms with unhashable constants — which the
+    row-at-a-time interpreter accepted — compile uncached.
+    """
+    try:
+        return _compile_term_cached(term)
+    except TypeError:
+        return _compile_term(term)
+
+
+def compile_predicate(
+    predicate: DNFPredicate, index_of: Mapping[str, int]
+) -> Callable[[Sequence[Any]], bool]:
+    """Compile a DNF predicate into a positional ``row values -> bool`` closure.
+
+    *index_of* maps qualified attribute names to positions in the row value
+    sequence the closure will be applied to. Unknown attributes raise
+    :class:`EvaluationError` at compile time rather than per row.
+    """
+    if predicate.is_true:
+        return lambda values: True
+    compiled_conjuncts: list[tuple[tuple[int, Callable[[Any], bool]], ...]] = []
+    for conjunct in predicate.conjuncts:
+        compiled_terms = []
+        for term in conjunct.terms:
+            try:
+                position = index_of[term.attribute]
+            except KeyError:
+                raise EvaluationError(f"row has no attribute {term.attribute!r}") from None
+            compiled_terms.append((position, compile_term(term)))
+        compiled_conjuncts.append(tuple(compiled_terms))
+
+    def evaluate_positional(values: Sequence[Any]) -> bool:
+        for terms in compiled_conjuncts:
+            for position, test in terms:
+                if not test(values[position]):
+                    break
+            else:
+                return True
+        return False
+
+    return evaluate_positional

@@ -160,6 +160,21 @@ class Relation:
         self._tuples.append(new_tuple)
         return new_tuple
 
+    def extend_raw(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append pre-validated rows without per-cell type coercion.
+
+        Fast path for the columnar evaluator: projected values copied
+        verbatim out of an already-coerced relation conform to the output
+        schema by construction, so re-coercing every cell is pure overhead.
+        Callers must guarantee the rows match the schema's arity and types.
+        """
+        tuples = self._tuples
+        next_id = self._next_id
+        for row in rows:
+            tuples.append(Tuple(row, next_id))
+            next_id += 1
+        self._next_id = next_id
+
     def delete(self, tuple_id: int) -> Tuple:
         """Remove and return the tuple with the given id."""
         for i, existing in enumerate(self._tuples):

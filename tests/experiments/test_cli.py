@@ -16,11 +16,13 @@ class TestCLI:
         with pytest.raises(SystemExit):
             parser.parse_args(["not-an-experiment"])
 
+    @pytest.mark.slow
     def test_run_single_table_to_stdout(self, capsys):
         assert main(["table5", "--scale", "0.03"]) == 0
         output = capsys.readouterr().out
         assert "Table 5" in output
 
+    @pytest.mark.slow
     def test_run_table_to_file(self, tmp_path, capsys):
         output_file = tmp_path / "out.txt"
         assert main(["table7", "--scale", "0.03", "--output", str(output_file)]) == 0

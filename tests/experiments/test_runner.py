@@ -64,6 +64,7 @@ class TestRunSession:
                 candidates=employee_candidates, feedback="nonsense",  # type: ignore[arg-type]
             )
 
+    @pytest.mark.slow
     def test_run_workload_oracle(self):
         run = run_workload(
             "Q5", scale=0.03, config=_FAST_CONFIG, qbo_config=_FAST_QBO, feedback="oracle"
@@ -72,6 +73,7 @@ class TestRunSession:
         assert run.session.converged
         assert run.session.identified_query is not None
 
+    @pytest.mark.slow
     def test_run_workload_worst_case(self):
         run = run_workload(
             "Q3", scale=0.03, config=_FAST_CONFIG, qbo_config=_FAST_QBO, feedback="worst"

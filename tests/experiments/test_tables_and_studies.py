@@ -6,6 +6,9 @@ regenerated table; the benchmark suite regenerates them at a larger scale.
 
 import pytest
 
+#: Regenerates every paper table/study — excluded from tier-1 (-m slow).
+pytestmark = pytest.mark.slow
+
 from repro.experiments import studies, tables
 from repro.experiments.report import ExperimentTable
 

@@ -6,6 +6,9 @@ from pathlib import Path
 
 import pytest
 
+#: Full example scripts run whole QFE sessions — excluded from tier-1 (-m slow).
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 

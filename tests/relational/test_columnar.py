@@ -1,0 +1,278 @@
+"""Differential tests: the columnar engine against the row-at-a-time oracle.
+
+The columnar engine (compiled terms, cached bitmasks, batch evaluation) must
+be *indistinguishable* from the original row-at-a-time evaluator, which is
+kept as :func:`~repro.relational.evaluator.evaluate_on_join_reference`. These
+tests hold the two against each other on handcrafted predicates covering
+every operator and value-type combination, and on all six paper workloads
+(Q1–Q6) including constant-mutated candidate variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EvaluationError
+from repro.qbo.mutation import mutate_candidates
+from repro.relational.columnar import ColumnarView, mask_count, mask_positions, pack_bools
+from repro.relational.database import Database
+from repro.relational.evaluator import (
+    evaluate_batch,
+    evaluate_on_join,
+    evaluate_on_join_reference,
+    result_fingerprint,
+)
+from repro.relational.join import full_join
+from repro.relational.predicates import (
+    ComparisonOp,
+    Conjunct,
+    DNFPredicate,
+    Term,
+    compile_predicate,
+    compile_term,
+)
+from repro.relational.query import SPJQuery
+from repro.workloads import WORKLOADS, build_pair
+
+#: Tiny scale keeps the six workload pairs fast while exercising real data.
+_SCALE = 0.03
+
+
+# ------------------------------------------------------------------ mask helpers
+class TestMaskHelpers:
+    def test_pack_and_positions_roundtrip(self):
+        flags = [True, False, True, True, False, False, True]
+        mask = pack_bools(flags)
+        assert mask_positions(mask) == [0, 2, 3, 6]
+        assert mask_count(mask) == 4
+
+    def test_empty_and_all_set(self):
+        assert pack_bools([]) == 0
+        assert mask_positions(0) == []
+        assert mask_positions(pack_bools([True] * 5)) == [0, 1, 2, 3, 4]
+
+    @given(st.lists(st.booleans(), max_size=700))
+    @settings(max_examples=50, deadline=None)
+    def test_pack_positions_roundtrip_property(self, flags):
+        mask = pack_bools(flags)
+        assert mask_positions(mask) == [i for i, f in enumerate(flags) if f]
+        assert mask_count(mask) == sum(flags)
+
+
+# ------------------------------------------------------------ compiled terms
+_VALUES = [None, True, False, 0, 1, 4200, -3, 0.05, 4200.0, -0.5, "IT", "Sales", ""]
+_CONSTANTS = [True, False, 0, 1, 4200, 0.05, 4200.0, -0.5, "IT", ""]
+_SCALAR_OPS = [
+    ComparisonOp.EQ,
+    ComparisonOp.NE,
+    ComparisonOp.LT,
+    ComparisonOp.LE,
+    ComparisonOp.GT,
+    ComparisonOp.GE,
+]
+
+
+class TestCompiledTerms:
+    def test_scalar_ops_match_interpreter(self):
+        for op in _SCALAR_OPS:
+            for constant in _CONSTANTS:
+                term = Term("T.a", op, constant)
+                compiled = compile_term(term)
+                for value in _VALUES:
+                    try:
+                        expected = term.evaluate_value(value)
+                    except EvaluationError:
+                        with pytest.raises(EvaluationError):
+                            compiled(value)
+                        continue
+                    assert compiled(value) == expected, (op, constant, value)
+
+    def test_membership_ops_match_interpreter(self):
+        for op in (ComparisonOp.IN, ComparisonOp.NOT_IN):
+            for constants in ([1, 2.0, "IT"], ["IT", "Sales"], [True, 0], []):
+                term = Term("T.a", op, constants)
+                compiled = compile_term(term)
+                for value in _VALUES:
+                    assert compiled(value) == term.evaluate_value(value), (op, constants, value)
+
+    def test_numeric_constants_share_mask_key(self):
+        assert Term("T.a", ComparisonOp.GT, 60).mask_key() == Term(
+            "T.a", ComparisonOp.GT, 60.0
+        ).mask_key()
+        assert Term("T.a", ComparisonOp.GT, 60).mask_key() != Term(
+            "T.a", ComparisonOp.GE, 60
+        ).mask_key()
+        # Python's bool is an int (True == 1.0), so EQ True and EQ 1.0 alias
+        # to one cache key — harmless, because ``_safe_eq`` gives them
+        # identical row-level semantics for every possible value.
+        assert Term("T.a", ComparisonOp.EQ, True).mask_key() == Term(
+            "T.a", ComparisonOp.EQ, 1.0
+        ).mask_key()
+        for value in [None, True, False, 0, 1, 1.0, 2, "1", ""]:
+            assert Term("T.a", ComparisonOp.EQ, True).evaluate_value(value) == Term(
+                "T.a", ComparisonOp.EQ, 1.0
+            ).evaluate_value(value)
+
+    def test_compile_predicate_matches_evaluate_row(self):
+        predicate = DNFPredicate(
+            (
+                Conjunct((Term("a", ComparisonOp.GT, 10), Term("b", ComparisonOp.EQ, "x"))),
+                Conjunct((Term("a", ComparisonOp.LE, -1),)),
+            )
+        )
+        index_of = {"a": 0, "b": 1}
+        compiled = compile_predicate(predicate, index_of)
+        for a in [None, -5, -1, 0, 10, 11, 2.5]:
+            for b in [None, "x", "y"]:
+                row = {"a": a, "b": b}
+                assert compiled((a, b)) == predicate.evaluate_row(row), row
+
+    def test_compile_predicate_unknown_attribute(self):
+        predicate = DNFPredicate.from_terms([Term("missing", ComparisonOp.EQ, 1)])
+        with pytest.raises(EvaluationError):
+            compile_predicate(predicate, {"present": 0})
+
+    def test_true_predicate_compiles_to_constant(self):
+        assert compile_predicate(DNFPredicate.true(), {})(()) is True
+
+
+# ------------------------------------------------------------- columnar views
+class TestColumnarView:
+    def test_view_snapshots_columns(self, two_table_db):
+        joined = full_join(two_table_db)
+        view = ColumnarView(joined.relation)
+        assert view.row_count == len(joined)
+        assert view.column("Emp.ename")[0] == "Ann"
+        assert view.has_attribute("Dept.budget")
+        assert not view.has_attribute("Dept.nope")
+
+    def test_term_masks_are_cached_and_shared(self, two_table_db):
+        joined = full_join(two_table_db)
+        view = joined.columnar()
+        assert view is joined.columnar()  # memoized on the join
+        term_int = Term("Emp.salary", ComparisonOp.GT, 60)
+        term_float = Term("Emp.salary", ComparisonOp.GT, 60.0)
+        mask = view.term_mask(term_int)
+        assert view.cached_term_count == 1
+        assert view.term_mask(term_float) == mask  # normalized key: cache hit
+        assert view.cached_term_count == 1
+        assert mask_count(mask) == 3  # Ann 90, Cy 70, Ed 65
+
+    def test_invalidate_columnar_rebuilds(self, two_table_db):
+        joined = full_join(two_table_db)
+        view = joined.columnar()
+        joined.invalidate_columnar()
+        assert joined.columnar() is not view
+
+
+# ------------------------------------------------- differential: paper workloads
+def _candidate_pool(database, result, target):
+    """The target plus result-preserving constant mutants and edge variants."""
+    pool = [target]
+    pool += mutate_candidates(database, result, [target], limit=8)
+    pool.append(target.with_predicate(DNFPredicate.true()))
+    pool.append(target.with_distinct(True))
+    return pool
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_columnar_matches_reference_on_paper_workloads(name):
+    database, result, target = build_pair(name, _SCALE)
+    joined = full_join(database)
+    queries = _candidate_pool(database, result, target)
+
+    batch = evaluate_batch(queries, joined, database, set_semantics=False)
+    for query, batch_result, fingerprint in zip(queries, batch.results, batch.fingerprints):
+        reference = evaluate_on_join_reference(query, joined, database)
+        columnar = evaluate_on_join(query, joined, database)
+        assert columnar.bag_equal(reference), f"{name}: bag mismatch for {query}"
+        assert columnar.set_equal(reference), f"{name}: set mismatch for {query}"
+        assert batch_result.bag_equal(reference), f"{name}: batch mismatch for {query}"
+        assert fingerprint == result_fingerprint(reference)
+        assert result_fingerprint(columnar, set_semantics=True) == result_fingerprint(
+            reference, set_semantics=True
+        )
+
+
+def test_batch_shares_results_between_equivalent_candidates(two_table_db):
+    joined = full_join(two_table_db)
+    # Two syntactically different predicates selecting the same rows, plus one
+    # genuinely different candidate.
+    same_a = SPJQuery(
+        ["Emp"], ["Emp.ename"],
+        DNFPredicate.from_terms([Term("Emp.salary", ComparisonOp.GT, 60)]),
+    )
+    same_b = SPJQuery(
+        ["Emp"], ["Emp.ename"],
+        DNFPredicate.from_terms([Term("Emp.salary", ComparisonOp.GE, 65)]),
+    )
+    other = SPJQuery(
+        ["Emp"], ["Emp.ename"],
+        DNFPredicate.from_terms([Term("Emp.salary", ComparisonOp.GT, 80)]),
+    )
+    batch = evaluate_batch([same_a, same_b, other], joined, two_table_db)
+    assert batch.results[0] is batch.results[1]  # identical mask+projection share
+    assert batch.fingerprints[0] == batch.fingerprints[1]
+    assert batch.fingerprints[0] != batch.fingerprints[2]
+
+
+def test_short_circuit_suppresses_unreachable_term_errors(two_table_db):
+    # AND short-circuit: rows where the first term fails must never evaluate
+    # the incomparable second term (the interpreter never reaches it).
+    conjunct_query = SPJQuery(
+        ["Emp"], ["Emp.ename"],
+        DNFPredicate(
+            (
+                Conjunct(
+                    (
+                        Term("Emp.salary", ComparisonOp.GT, 1000),  # false for all
+                        Term("Emp.ename", ComparisonOp.LT, 10),  # would raise
+                    )
+                ),
+            )
+        ),
+    )
+    joined = full_join(two_table_db)
+    reference = evaluate_on_join_reference(conjunct_query, joined, two_table_db)
+    columnar = evaluate_on_join(conjunct_query, joined, two_table_db)
+    assert len(reference) == 0 and columnar.bag_equal(reference)
+
+    # OR short-circuit: rows satisfied by the first conjunct must never
+    # evaluate the erroring second conjunct.
+    disjunct_query = SPJQuery(
+        ["Emp"], ["Emp.ename"],
+        DNFPredicate(
+            (
+                Conjunct((Term("Emp.salary", ComparisonOp.GT, 0),)),  # true for all
+                Conjunct((Term("Emp.ename", ComparisonOp.LT, 10),)),  # would raise
+            )
+        ),
+    )
+    reference = evaluate_on_join_reference(disjunct_query, joined, two_table_db)
+    columnar = evaluate_on_join(disjunct_query, joined, two_table_db)
+    assert columnar.bag_equal(reference)
+
+
+def test_columnar_raises_like_reference_on_incomparable(two_table_db):
+    query = SPJQuery(
+        ["Emp"], ["Emp.ename"],
+        DNFPredicate.from_terms([Term("Emp.ename", ComparisonOp.LT, 10)]),
+    )
+    joined = full_join(two_table_db)
+    with pytest.raises(EvaluationError):
+        evaluate_on_join_reference(query, joined, two_table_db)
+    with pytest.raises(EvaluationError):
+        evaluate_on_join(query, joined, two_table_db)
+
+
+def test_columnar_and_reference_agree_on_distinct(two_table_db):
+    database = two_table_db.copy()
+    database.relation("Dept").insert([4, "Extra", 100])
+    query = SPJQuery(["Dept"], ["Dept.budget"], distinct=True)
+    joined = full_join(database)
+    reference = evaluate_on_join_reference(query, joined, database)
+    columnar = evaluate_on_join(query, joined, database)
+    assert columnar.bag_equal(reference)
+    assert len(columnar) == 3

@@ -1,0 +1,127 @@
+"""Lifecycle tests for the extended :class:`JoinCache`.
+
+Covers superset-join reuse, the columnar view / term-mask cache riding along
+with cached joins, batch evaluation through the cache, and the id-keyed
+invalidation contract for modified database copies.
+"""
+
+from __future__ import annotations
+
+from repro.relational.evaluator import JoinCache, evaluate
+from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+
+
+def _salary_query(threshold):
+    return SPJQuery(
+        ["Emp"], ["Emp.ename"],
+        DNFPredicate.from_terms([Term("Emp.salary", ComparisonOp.GT, threshold)]),
+    )
+
+
+class TestJoinReuse:
+    def test_superset_join_reused_across_table_orderings(self, two_table_db):
+        cache = JoinCache()
+        first = cache.join_for(two_table_db, ["Emp", "Dept"])
+        second = cache.join_for(two_table_db, ["Dept", "Emp"])
+        assert first is second
+        assert cache.cached_join_count == 1
+
+    def test_distinct_table_sets_cached_separately(self, two_table_db):
+        cache = JoinCache()
+        cache.join_for(two_table_db, ["Emp"])
+        cache.join_for(two_table_db, ["Emp", "Dept"])
+        assert cache.cached_join_count == 2
+
+    def test_database_copies_get_separate_entries(self, two_table_db):
+        cache = JoinCache()
+        copy = two_table_db.copy()
+        cache.join_for(two_table_db, ["Emp"])
+        cache.join_for(copy, ["Emp"])
+        assert cache.cached_join_count == 2
+
+
+class TestColumnarLifecycle:
+    def test_columnar_view_rides_with_cached_join(self, two_table_db):
+        cache = JoinCache()
+        view = cache.columnar_for(two_table_db, ["Emp", "Dept"])
+        assert view is cache.columnar_for(two_table_db, ["Dept", "Emp"])
+        assert view is cache.join_for(two_table_db, ["Emp", "Dept"]).columnar()
+
+    def test_term_masks_accumulate_across_evaluations(self, two_table_db):
+        cache = JoinCache()
+        cache.evaluate(_salary_query(60), two_table_db)
+        view = cache.columnar_for(two_table_db, ["Emp"])
+        assert view.cached_term_count == 1
+        cache.evaluate(_salary_query(60), two_table_db)  # cache hit
+        assert view.cached_term_count == 1
+        cache.evaluate(_salary_query(80), two_table_db)  # new distinct term
+        assert view.cached_term_count == 2
+
+
+class TestBatchThroughCache:
+    def test_results_align_with_query_order_across_join_schemas(self, two_table_db):
+        cache = JoinCache()
+        single = _salary_query(60)
+        joined = SPJQuery(
+            ["Emp", "Dept"], ["Emp.ename"],
+            DNFPredicate.from_terms([Term("Dept.budget", ComparisonOp.GE, 80)]),
+        )
+        batch = cache.evaluate_batch([joined, single, joined], two_table_db)
+        assert len(batch) == 3
+        assert batch.fingerprints[0] == batch.fingerprints[2]
+        for query, result in zip([joined, single, joined], batch.results):
+            assert result.bag_equal(evaluate(query, two_table_db))
+        # one join per distinct signature
+        assert cache.cached_join_count == 2
+
+    def test_fingerprints_optional(self, two_table_db):
+        cache = JoinCache()
+        batch = cache.evaluate_batch(
+            [_salary_query(60)], two_table_db, with_fingerprints=False
+        )
+        assert batch.fingerprints is None
+
+
+class TestInvalidation:
+    def test_invalidate_drops_only_that_databases_joins(self, two_table_db):
+        cache = JoinCache()
+        copy = two_table_db.copy()
+        original_join = cache.join_for(two_table_db, ["Emp"])
+        copy_join = cache.join_for(copy, ["Emp"])
+        cache.invalidate(copy)
+        assert cache.cached_join_count == 1
+        assert cache.join_for(two_table_db, ["Emp"]) is original_join
+        assert cache.join_for(copy, ["Emp"]) is not copy_join
+
+    def test_modified_copy_is_stale_until_invalidated(self, two_table_db):
+        cache = JoinCache()
+        copy = two_table_db.copy()
+        query = _salary_query(60)
+        before = cache.evaluate(query, copy)
+        assert sorted(r[0] for r in before.rows()) == ["Ann", "Cy", "Ed"]
+
+        # In-place modification of a database whose join is cached: the cache
+        # (keyed on identity) keeps serving the stale snapshot until told.
+        copy.relation("Emp").update_value(3, "salary", 99)
+        stale = cache.evaluate(query, copy)
+        assert sorted(r[0] for r in stale.rows()) == ["Ann", "Cy", "Ed"]
+
+        cache.invalidate(copy)
+        fresh = cache.evaluate(query, copy)
+        assert sorted(r[0] for r in fresh.rows()) == ["Ann", "Cy", "Di", "Ed"]
+
+    def test_entries_evicted_when_database_is_garbage_collected(self, two_table_db):
+        cache = JoinCache()
+        copy = two_table_db.copy()
+        cache.join_for(copy, ["Emp"])
+        assert cache.cached_join_count == 1
+        del copy  # finalizer fires on deallocation, before the id can recycle
+        assert cache.cached_join_count == 0
+
+    def test_clear_drops_everything(self, two_table_db):
+        cache = JoinCache()
+        cache.join_for(two_table_db, ["Emp"])
+        cache.join_for(two_table_db.copy(), ["Emp"])
+        cache.clear()
+        assert cache.cached_join_count == 0

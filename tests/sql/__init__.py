@@ -1,0 +1,1 @@
+"""Test package (gives duplicate basenames like test_properties.py unique module paths)."""
