@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 suite plus the row-vs-columnar differential oracle.
+# Repo verification: tier-1 suite plus the two-oracle differential checks.
 #
 #   scripts/check.sh          fast tier-1 (slow-marked tests excluded)
 #   scripts/check.sh --slow   also run the slow tier (examples, tables, studies)
@@ -12,8 +12,12 @@ echo "== tier-1 test suite =="
 python -m pytest -x -q
 
 echo
-echo "== differential oracle: columnar engine vs row-at-a-time reference =="
-python -m pytest -q tests/relational/test_columnar.py tests/sql/test_sqlite_backend.py
+echo "== differential oracles: columnar + delta maintenance vs row-at-a-time reference and SQLite =="
+python -m pytest -q tests/relational/test_columnar.py tests/relational/test_delta_maintenance.py tests/sql/test_sqlite_backend.py
+
+echo
+echo "== regression guard: delta-derive path performs no full join rebuild =="
+python -m pytest -q benchmarks/test_bench_components.py -k delta_derive_path --benchmark-disable
 
 if [[ "${1:-}" == "--slow" ]]; then
     echo

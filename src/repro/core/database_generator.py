@@ -152,14 +152,20 @@ class DatabaseGenerator:
                 fallback_attempts += 1
                 last_error = "no class pair could be materialized"
                 continue
-            # Each attempt materializes a fresh database copy that is
-            # evaluated exactly once, so the batch partition uses its own
-            # short-lived join cache rather than growing the generator's.
+            # Evaluate the candidates on D' through the *derived* cache path:
+            # the recorded update-only delta patches the original database's
+            # cached join, columnar view and term masks in O(|Δ|), so each
+            # verification attempt skips the full join rebuild entirely. The
+            # entries die with the attempt's database (weakref finalizer) or
+            # with the base entry, whichever goes first.
+            if materialization.delta.is_update_only and not materialization.delta.is_empty:
+                self.join_cache.derive(original, materialization.delta, materialization.database)
             partition = partition_queries(
                 queries,
                 materialization.database,
                 set_semantics=config.set_semantics,
                 result_name=result.schema.name,
+                join_cache=self.join_cache,
             )
             if partition.distinguishes:
                 materialize_seconds = perf_counter() - started

@@ -28,6 +28,7 @@ from repro.core.tuple_class import TupleClassSpace
 from repro.exceptions import TypeMismatchError
 from repro.relational.constraints import modification_is_valid
 from repro.relational.database import Database
+from repro.relational.delta import TupleDelta
 from repro.relational.types import AttributeType, values_equal
 
 __all__ = ["AppliedModification", "MaterializationResult", "materialize_pairs"]
@@ -59,11 +60,20 @@ class AppliedModification:
 
 @dataclass
 class MaterializationResult:
-    """The modified database plus a record of every applied / skipped change."""
+    """The modified database plus a record of every applied / skipped change.
+
+    ``delta`` is the structured :class:`~repro.relational.delta.TupleDelta`
+    recorded while ``D'`` was constructed — always update-only, because class
+    pairs only ever perform E1 attribute modifications. The Database
+    Generator hands it to :meth:`~repro.relational.evaluator.JoinCache.derive`
+    so candidate evaluation on ``D'`` patches the original database's cached
+    join instead of rebuilding it.
+    """
 
     database: Database
     applied: list[AppliedModification] = field(default_factory=list)
     skipped_pairs: list[ClassPair] = field(default_factory=list)
+    delta: TupleDelta = field(default_factory=TupleDelta)
 
     @property
     def modification_count(self) -> int:
@@ -206,6 +216,14 @@ def materialize_pairs(
         for modification in applied_for_pair:
             result.applied.append(modification)
             used_base_tuples.add((modification.table, modification.tuple_id))
+
+    # Record the structured tuple delta of everything that stuck (rolled-back
+    # attempts never reach ``result.applied``): one update per distinct
+    # modified base tuple, carrying its final value row in ``D'``.
+    for table, tuple_id in dict.fromkeys((m.table, m.tuple_id) for m in result.applied):
+        result.delta.record_update(
+            table, tuple_id, modified.relation(table).tuple_by_id(tuple_id).values
+        )
     return result
 
 

@@ -23,7 +23,16 @@ __all__ = ["ClassPair", "PairSetEffect", "PairSetSimulator", "simulate_pair_set"
 
 @dataclass(frozen=True)
 class ClassPair:
-    """A source/destination tuple-class pair representing one tuple modification."""
+    """A source/destination tuple-class pair representing one tuple modification.
+
+    A class pair is always realized as E1 attribute modifications of existing
+    tuples — never tuple insertions or deletions — so the
+    :class:`~repro.relational.delta.TupleDelta` its materialization records
+    is update-only (:attr:`is_update_only`). That is the contract the
+    delta-derived evaluation path (:meth:`JoinCache.derive
+    <repro.relational.evaluator.JoinCache.derive>`) relies on to patch the
+    cached join instead of rebuilding it for every candidate ``D'``.
+    """
 
     source: TupleClass
     destination: TupleClass
@@ -32,6 +41,11 @@ class ClassPair:
     def edit_cost(self) -> int:
         """``minEdit(s, d)``: how many selection attributes the modification touches."""
         return self.source.edit_distance(self.destination)
+
+    @property
+    def is_update_only(self) -> bool:
+        """Class pairs modify attribute values in place; they never insert/delete tuples."""
+        return True
 
     def changed_slots(self) -> tuple[int, ...]:
         """Positions of the selection attributes whose domain subset changes."""

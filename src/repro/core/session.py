@@ -131,7 +131,10 @@ class QFESession:
         # One join cache for the whole session: the original database's
         # foreign-key join (and its columnar term masks) is built once and
         # reused by every iteration's Database Generator run and by candidate
-        # replenishment. The session never mutates ``self.database``.
+        # replenishment. Each iteration's modified database D' is evaluated
+        # through a *delta-derived* entry patched out of that base entry
+        # (``JoinCache.derive``), so no iteration after the first pays a cold
+        # join or term-mask build. The session never mutates ``self.database``.
         self.join_cache = JoinCache()
         self._generator = DatabaseGenerator(self.config, score=score, join_cache=self.join_cache)
         self.last_rounds: list[FeedbackRound] = []
@@ -187,6 +190,11 @@ class QFESession:
                 iteration, self.database, self.result, generation.database, generation.partition
             )
             self.last_rounds.append(round_)
+            # The round's presentation data (results, deltas) is fully
+            # materialized; release D' from the join cache so a session that
+            # keeps every round alive does not also pin one derived join per
+            # iteration. The base entry stays warm for the next round.
+            self.join_cache.invalidate(generation.database)
             execution_seconds = perf_counter() - iteration_started
             choice = selector.select(round_, generation.partition)
 

@@ -9,7 +9,14 @@ checking.
 
 from repro.relational.columnar import ColumnarView
 from repro.relational.database import Database
-from repro.relational.delta import DatabaseDelta, ResultDelta, database_delta, result_delta
+from repro.relational.delta import (
+    DatabaseDelta,
+    ResultDelta,
+    TupleDelta,
+    database_delta,
+    delta_from_edit_script,
+    result_delta,
+)
 from repro.relational.edit import (
     EditKind,
     EditOperation,
@@ -28,7 +35,7 @@ from repro.relational.evaluator import (
     evaluate_on_join_reference,
     results_equal,
 )
-from repro.relational.join import JoinedRelation, foreign_key_join, full_join
+from repro.relational.join import JOIN_STATS, JoinedRelation, foreign_key_join, full_join
 from repro.relational.predicates import (
     ComparisonOp,
     Conjunct,
@@ -71,6 +78,7 @@ __all__ = [
     "results_equal",
     "JoinCache",
     "JoinedRelation",
+    "JOIN_STATS",
     "foreign_key_join",
     "full_join",
     "EditKind",
@@ -82,6 +90,8 @@ __all__ = [
     "min_edit_database",
     "DatabaseDelta",
     "ResultDelta",
+    "TupleDelta",
     "database_delta",
+    "delta_from_edit_script",
     "result_delta",
 ]

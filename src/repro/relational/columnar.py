@@ -24,7 +24,7 @@ rebuilt (see ``JoinedRelation.invalidate_columnar`` and
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 from repro.exceptions import EvaluationError
 from repro.relational.predicates import Conjunct, DNFPredicate, Term, compile_term
@@ -71,6 +71,14 @@ def mask_count(mask: int) -> int:
     return mask.bit_count()
 
 
+def _evaluate_guarded(test: Callable[[Any], bool], value: Any) -> tuple[bool, EvaluationError | None]:
+    """Evaluate a compiled term on one value, capturing its evaluation error."""
+    try:
+        return test(value), None
+    except EvaluationError as exc:
+        return False, exc
+
+
 class ColumnarView:
     """Column-major view of a relation plus the shared term-mask cache.
 
@@ -86,7 +94,15 @@ class ColumnarView:
     Term entries therefore carry an error mask alongside the truth mask.
     """
 
-    __slots__ = ("names", "row_count", "_index", "_columns", "_term_masks", "_all_rows_mask")
+    __slots__ = (
+        "names",
+        "row_count",
+        "_index",
+        "_columns",
+        "_term_masks",
+        "_term_tests",
+        "_all_rows_mask",
+    )
 
     def __init__(self, relation: "Relation") -> None:
         self.names: tuple[str, ...] = relation.schema.attribute_names
@@ -97,7 +113,10 @@ class ColumnarView:
             self._columns: list[tuple[Any, ...]] = list(zip(*(t.values for t in tuples)))
         else:
             self._columns = [() for _ in self.names]
-        self._term_masks: dict[tuple, int] = {}
+        self._term_masks: dict[tuple, tuple[int, int, EvaluationError | None]] = {}
+        # Compiled value tests retained per cached key so `derive` can
+        # re-evaluate a term at just the patched/appended positions.
+        self._term_tests: dict[tuple, Any] = {}
         self._all_rows_mask = (1 << self.row_count) - 1
 
     # ------------------------------------------------------------------ columns
@@ -144,6 +163,7 @@ class ColumnarView:
             entry = self._build_term_entry(term)
             if key is not None:
                 self._term_masks[key] = entry
+                self._term_tests[key] = compile_term(term)
         return entry
 
     def _build_term_entry(self, term: Term) -> tuple[int, int, EvaluationError | None]:
@@ -241,6 +261,111 @@ class ColumnarView:
     def clear_term_masks(self) -> None:
         """Drop the cached term masks (the columns themselves are immutable)."""
         self._term_masks.clear()
+        self._term_tests.clear()
+
+    # ------------------------------------------------------------------- derive
+    def derive(
+        self,
+        patches: Mapping[int, Mapping[int, Any]],
+        removed: Sequence[int],
+        appended: Sequence[Sequence[Any]],
+    ) -> "ColumnarView":
+        """A copy-on-write view with cells patched, rows removed and rows added.
+
+        *patches* maps base row positions to ``{column position: new value}``;
+        *removed* lists base row positions to drop; *appended* holds full new
+        value rows (in column order) placed after the surviving base rows —
+        exactly the shape :meth:`JoinedRelation.apply_delta` produces.
+
+        Columns untouched by any change are shared with the base view by
+        reference, and so are their cached term-mask entries. Affected cached
+        masks are *patched*, not recomputed: changed bits are re-evaluated at
+        the affected positions only, removals compact the masks with O(|removed|)
+        big-int shifts, and appended rows contribute freshly evaluated bits —
+        O(|Δ|) term evaluations plus O(rows/64) word operations per mask,
+        versus O(rows) Python-level evaluations for a cold rebuild. Error
+        masks (and the short-circuit error semantics they encode) are
+        maintained the same way.
+        """
+        removed_descending = sorted(removed, reverse=True)
+        structural = bool(removed_descending or appended)
+        survivor_count = self.row_count - len(removed_descending)
+        new_row_count = survivor_count + len(appended)
+
+        by_column: dict[int, list[tuple[int, Any]]] = {}
+        for position, cells in patches.items():
+            for column_position, value in cells.items():
+                by_column.setdefault(column_position, []).append((position, value))
+
+        view = ColumnarView.__new__(ColumnarView)
+        view.names = self.names
+        view._index = self._index
+        view.row_count = new_row_count
+        view._all_rows_mask = (1 << new_row_count) - 1
+
+        columns: list[tuple[Any, ...]] = []
+        for column_position, column in enumerate(self._columns):
+            cell_patches = by_column.get(column_position)
+            if not structural and not cell_patches:
+                columns.append(column)  # shared with the base view
+                continue
+            values = list(column)
+            if cell_patches:
+                for position, value in cell_patches:
+                    values[position] = value
+            for position in removed_descending:
+                del values[position]
+            if appended:
+                values.extend(row[column_position] for row in appended)
+            columns.append(tuple(values))
+        view._columns = columns
+
+        view._term_masks = {}
+        view._term_tests = {}
+        for key, entry in self._term_masks.items():
+            column_position = self._index.get(key[0])
+            test = self._term_tests.get(key)
+            if column_position is None or test is None:
+                # Missing-attribute error entries (or untracked tests) are
+                # rebuilt lazily against the derived view instead.
+                continue
+            cell_patches = by_column.get(column_position)
+            if not structural and not cell_patches:
+                view._term_masks[key] = entry
+                view._term_tests[key] = test
+                continue
+            mask, error_mask, error = entry
+            if cell_patches:
+                for position, value in cell_patches:
+                    bit = 1 << position
+                    truth, raised = _evaluate_guarded(test, value)
+                    mask = (mask | bit) if truth else (mask & ~bit)
+                    if raised is not None:
+                        error_mask |= bit
+                        error = error or raised
+                    else:
+                        error_mask &= ~bit
+            for position in removed_descending:
+                low = (1 << position) - 1
+                mask = (mask & low) | ((mask >> (position + 1)) << position)
+                error_mask = (error_mask & low) | ((error_mask >> (position + 1)) << position)
+            if appended:
+                added_mask = 0
+                added_errors = 0
+                for offset, row in enumerate(appended):
+                    truth, raised = _evaluate_guarded(test, row[column_position])
+                    if truth:
+                        added_mask |= 1 << offset
+                    if raised is not None:
+                        added_errors |= 1 << offset
+                        error = error or raised
+                mask |= added_mask << survivor_count
+                error_mask |= added_errors << survivor_count
+            if not error_mask:
+                error = None
+            view._term_masks[key] = (mask, error_mask, error)
+            view._term_tests[key] = test
+        return view
 
     def __len__(self) -> int:
         return self.row_count

@@ -96,6 +96,36 @@ class EditScript:
         """Human-readable lines for every operation."""
         return [op.describe() for op in self.operations]
 
+    def row_changes(self) -> list[tuple[EditKind, tuple | None, tuple | None]]:
+        """Per-*tuple* changes ``(kind, source_row, target_row)``.
+
+        :func:`min_edit_script` emits one E1 operation per modified cell, with
+        all cells of one matched tuple pair appearing contiguously and each
+        attribute at most once per pair; this view collapses each such run
+        into a single MODIFY row change, so consumers that operate at tuple
+        granularity (e.g. deriving a
+        :class:`~repro.relational.delta.TupleDelta`) see one entry per tuple.
+        A repeated attribute within a run of identical ``(source, target)``
+        rows marks the start of the *next* matched pair — duplicate rows
+        modified identically (legal under bag semantics) stay distinct.
+        """
+        changes: list[tuple[EditKind, tuple | None, tuple | None]] = []
+        run_attributes: set[str | None] = set()
+        for op in self.operations:
+            if (
+                op.kind is EditKind.MODIFY
+                and changes
+                and changes[-1][0] is EditKind.MODIFY
+                and changes[-1][1] == op.source_row
+                and changes[-1][2] == op.target_row
+                and op.attribute not in run_attributes
+            ):
+                run_attributes.add(op.attribute)
+                continue  # same matched tuple pair: another changed cell
+            run_attributes = {op.attribute} if op.kind is EditKind.MODIFY else set()
+            changes.append((op.kind, op.source_row, op.target_row))
+        return changes
+
     def __len__(self) -> int:
         return len(self.operations)
 

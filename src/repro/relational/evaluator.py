@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.exceptions import UnsupportedQueryError
 from repro.relational.columnar import ColumnarView, mask_positions
@@ -36,6 +36,9 @@ from repro.relational.join import JoinedRelation, foreign_key_join
 from repro.relational.query import SPJQuery, SPJUQuery
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, TableSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.delta import TupleDelta
 
 __all__ = [
     "evaluate",
@@ -311,19 +314,74 @@ class JoinCache:
     is *in-place modification* of a live database it holds joins for; call
     :meth:`invalidate` in that case and the stale join and its columnar view
     are dropped together (QFE itself always works on fresh copies).
+
+    **Delta derivation.** :meth:`derive` registers a modified copy ``D'`` as
+    a delta-derived child of its base ``D``. Any join subsequently requested
+    for ``D'`` is produced by patching the base's cached join through
+    :meth:`JoinedRelation.apply_delta` — sharing unmodified tuples, columns
+    and term masks copy-on-write — instead of re-joining ``D'`` from scratch.
+    Derived entries are evicted together with their base: invalidating or
+    garbage-collecting ``D`` drops every entry derived from it (the derived
+    state was patched out of the base entry, so it must not outlive it).
     """
 
     def __init__(self) -> None:
         self._cache: dict[tuple[int, tuple[str, ...]], JoinedRelation] = {}
         self._finalizers: dict[int, weakref.finalize] = {}
+        #: derived database id -> (base database id, weakref to base, delta)
+        self._links: dict[int, tuple[int, weakref.ref, Any]] = {}
+        #: base database id -> ids of databases derived from it
+        self._children: dict[int, set[int]] = {}
 
     def join_for(self, database: Database, tables: Iterable[str]) -> JoinedRelation:
-        """Return (and memoize) the foreign-key join of *tables* on *database*."""
+        """Return (and memoize) the foreign-key join of *tables* on *database*.
+
+        For a database registered through :meth:`derive`, the join is derived
+        incrementally from the base database's cached join instead of being
+        rebuilt cold.
+        """
         key = (id(database), tuple(sorted(tables)))
         if key not in self._cache:
-            self._cache[key] = foreign_key_join(database, list(tables))
+            self._cache[key] = self._build_entry(database, tables)
             self._watch(database)
         return self._cache[key]
+
+    def _build_entry(self, database: Database, tables: Iterable[str]) -> JoinedRelation:
+        link = self._links.get(id(database))
+        if link is not None:
+            _, base_ref, delta = link
+            base = base_ref()
+            if base is not None:
+                return self.join_for(base, tables).apply_delta(delta, base)
+        return foreign_key_join(database, list(tables))
+
+    def derive(
+        self,
+        base: Database,
+        delta: "TupleDelta",
+        derived: Database,
+        tables: Iterable[str] | None = None,
+    ) -> JoinedRelation | None:
+        """Register *derived* as the delta-modified copy of *base*.
+
+        Every join the cache later serves for *derived* is patched out of the
+        corresponding (cached, possibly warm) join of *base* via
+        :meth:`JoinedRelation.apply_delta`, per join signature on demand.
+        When *tables* is given the entry for that signature is derived
+        eagerly and returned. The lifetime of derived entries is tied to the
+        base: :meth:`invalidate` on (or garbage collection of) *base* evicts
+        them, and the link itself dies with either database.
+        """
+        base_id, derived_id = id(base), id(derived)
+        if base_id == derived_id:
+            raise ValueError("cannot derive a database from itself")
+        self._links[derived_id] = (base_id, weakref.ref(base), delta)
+        self._children.setdefault(base_id, set()).add(derived_id)
+        self._watch(base)
+        self._watch(derived)
+        if tables is not None:
+            return self.join_for(derived, tables)
+        return None
 
     def _watch(self, database: Database) -> None:
         """Evict the database's entries when it is deallocated (id-reuse guard)."""
@@ -343,6 +401,18 @@ class JoinCache:
         finalizer = self._finalizers.pop(database_id, None)
         if finalizer is not None:
             finalizer.detach()
+        # Sever the derived-from link if this database was itself derived.
+        link = self._links.pop(database_id, None)
+        if link is not None:
+            siblings = self._children.get(link[0])
+            if siblings is not None:
+                siblings.discard(database_id)
+                if not siblings:
+                    del self._children[link[0]]
+        # Derived entries were patched out of this database's entries (sharing
+        # columns and masks copy-on-write); evict them alongside their base.
+        for child_id in self._children.pop(database_id, ()):
+            self._drop(child_id)
         stale = [key for key in self._cache if key[0] == database_id]
         for key in stale:
             self._cache.pop(key).invalidate_columnar()
@@ -403,6 +473,8 @@ class JoinCache:
 
         Must be called when a database instance that joins were cached for is
         modified in place, so later evaluations rebuild from the new contents.
+        Entries delta-derived *from* this database are evicted with it — they
+        share patched state with the base entries and must not outlive them.
         (Deallocation is handled automatically by a weakref finalizer.)
         """
         self._drop(id(database))
@@ -412,9 +484,16 @@ class JoinCache:
         """Number of joins currently cached (diagnostics and tests)."""
         return len(self._cache)
 
+    @property
+    def derived_link_count(self) -> int:
+        """Number of live delta-derivation links (diagnostics and tests)."""
+        return len(self._links)
+
     def clear(self) -> None:
-        """Drop all cached joins."""
+        """Drop all cached joins and delta-derivation links."""
         for finalizer in self._finalizers.values():
             finalizer.detach()
         self._finalizers.clear()
         self._cache.clear()
+        self._links.clear()
+        self._children.clear()

@@ -124,6 +124,20 @@ class Relation:
         raw_rows = [[row.get(column) for column in columns] for row in rows]
         return cls.from_rows(name, columns, raw_rows, primary_key=primary_key)
 
+    @classmethod
+    def adopt_tuples(cls, schema: TableSchema, tuples: Iterable[Tuple]) -> "Relation":
+        """Internal fast constructor: adopt pre-built :class:`Tuple` objects verbatim.
+
+        Used by the incremental join-maintenance layer, which patches a few
+        tuples of a materialized join and *shares* the rest with the base
+        instance. Callers must guarantee the tuples conform to *schema* and
+        carry unique ids; ids may be non-contiguous.
+        """
+        relation = cls(schema)
+        relation._tuples = list(tuples)
+        relation._next_id = 1 + max((t.tuple_id for t in relation._tuples if t.tuple_id is not None), default=-1)
+        return relation
+
     def empty_like(self) -> "Relation":
         """A new, empty relation with the same schema."""
         return Relation(self.schema)
@@ -219,6 +233,11 @@ class Relation:
     def tuples(self) -> tuple[Tuple, ...]:
         """All tuples in insertion order."""
         return tuple(self._tuples)
+
+    @property
+    def next_tuple_id(self) -> int:
+        """The id the next inserted tuple will receive (ids are never reused)."""
+        return self._next_id
 
     def tuple_by_id(self, tuple_id: int) -> Tuple:
         """The tuple with the given id (raises :class:`SchemaError` if absent)."""

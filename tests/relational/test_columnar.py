@@ -177,6 +177,50 @@ def _candidate_pool(database, result, target):
     return pool
 
 
+def _assert_sqlite_agrees(queries, batch, database, context):
+    from repro.sql.sqlite_backend import SQLiteBackend
+
+    with SQLiteBackend(database) as backend:
+        for query, ours in zip(queries, batch.results):
+            theirs = backend.execute(query)
+            if query.distinct:
+                assert ours.set_equal(theirs), f"{context}: SQLite disagrees on {query}"
+            else:
+                assert ours.bag_equal(theirs), f"{context}: SQLite disagrees on {query}"
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_batch_agrees_with_sqlite_oracle(name):
+    """Second oracle: ``evaluate_batch`` vs SQLite on ``D`` *and* derived ``D'``.
+
+    ``evaluate_on_join_reference`` shares our predicate semantics, so it
+    cannot catch a systematic interpretation bug; SQLite is an independent
+    engine. Evaluation goes through a :class:`JoinCache` (one join per query
+    signature — bag multiplicities depend on the join, so a superset join
+    would not match SQL semantics), over the original database and over
+    several delta-derived instances, so the incrementally maintained
+    join/mask state is also held against the independent oracle.
+    """
+    import random
+
+    from repro.relational.evaluator import JoinCache
+    from tests.relational.test_delta_maintenance import random_delta
+
+    database, result, target = build_pair(name, _SCALE)
+    queries = _candidate_pool(database, result, target)
+
+    cache = JoinCache()
+    batch = cache.evaluate_batch(queries, database, set_semantics=False)
+    _assert_sqlite_agrees(queries, batch, database, name)
+
+    for seed in (11, 12):
+        derived_db, delta = random_delta(database, random.Random(seed), operations=5)
+        cache.derive(database, delta, derived_db)
+        derived_batch = cache.evaluate_batch(queries, derived_db, set_semantics=False)
+        _assert_sqlite_agrees(queries, derived_batch, derived_db, f"{name}/seed {seed} (derived)")
+        cache.invalidate(derived_db)
+
+
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
 def test_columnar_matches_reference_on_paper_workloads(name):
     database, result, target = build_pair(name, _SCALE)

@@ -1,6 +1,15 @@
-"""Unit tests for the Δ(D, R_i) delta presentation."""
+"""Unit tests for the Δ(D, R_i) delta presentation and the TupleDelta record."""
 
-from repro.relational.delta import database_delta, result_delta
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.delta import (
+    TupleDelta,
+    database_delta,
+    delta_from_edit_script,
+    result_delta,
+)
+from repro.relational.edit import min_edit_script
 from repro.relational.relation import Relation
 
 
@@ -60,3 +69,135 @@ class TestResultDelta:
         original = Relation.from_rows("R", ["x", "y", "z"], [[1, 2, 3]])
         candidate = Relation.from_rows("R", ["x", "y", "z"], [[1, 9, 3]])
         assert result_delta(original, candidate).cost == 1
+
+
+class TestTupleDelta:
+    def test_empty_delta(self):
+        delta = TupleDelta()
+        assert delta.is_empty
+        assert delta.is_update_only
+        assert delta.op_count == 0
+        assert delta.relations == ()
+
+    def test_recording_and_access(self):
+        delta = TupleDelta()
+        delta.record_update("Emp", 2, (2, "Bo", 2, 58, False))
+        delta.record_delete("Dept", 0)
+        delta.record_insert("Emp", 9, (9, "New", 1, 10, True))
+        assert delta.relations == ("Dept", "Emp")
+        assert not delta.is_update_only
+        assert delta.op_count == 3
+        assert delta.updates_for("Emp") == {2: (2, "Bo", 2, 58, False)}
+        assert delta.deletes_for("Dept") == frozenset({0})
+        assert delta.inserts_for("Emp") == {9: (9, "New", 1, 10, True)}
+        kinds = {kind for kind, *_ in delta.operations()}
+        assert kinds == {"insert", "delete", "update"}
+
+    def test_coalescing_rules(self):
+        delta = TupleDelta()
+        delta.record_insert("T", 5, (1,))
+        delta.record_update("T", 5, (2,))  # update of an insert folds in
+        assert delta.inserts_for("T") == {5: (2,)}
+        assert delta.updates_for("T") == {}
+        delta.record_delete("T", 5)  # delete of an insert cancels it
+        assert delta.is_empty
+        delta.record_update("T", 3, (7,))
+        delta.record_update("T", 3, (8,))  # later update replaces earlier
+        assert delta.updates_for("T") == {3: (8,)}
+        delta.record_delete("T", 3)  # delete of an update becomes a delete
+        assert delta.updates_for("T") == {}
+        assert delta.deletes_for("T") == frozenset({3})
+
+    def test_between_and_apply_to_roundtrip(self, two_table_db):
+        derived = two_table_db.copy()
+        derived.relation("Emp").update_value(1, "salary", 58)
+        derived.relation("Emp").delete(3)
+        derived.relation("Emp").insert([6, "Fay", 1, 120, True])
+        derived.relation("Dept").update_value(0, "budget", 150)
+
+        delta = TupleDelta.between(two_table_db, derived)
+        assert delta.updates_for("Emp") and delta.deletes_for("Emp") == frozenset({3})
+        assert not delta.is_update_only
+
+        replayed = delta.apply_to(two_table_db.copy())
+        for name in two_table_db.table_names:
+            assert replayed.relation(name).bag_equal(derived.relation(name))
+        # ids replayed identically, so diffing again yields an empty delta
+        assert TupleDelta.between(derived, replayed).is_empty
+
+    def test_between_ignores_noop_copies(self, two_table_db):
+        assert TupleDelta.between(two_table_db, two_table_db.copy()).is_empty
+
+    def test_apply_to_rejects_misaligned_base(self, two_table_db):
+        delta = TupleDelta()
+        delta.record_insert("Emp", 99, (7, "Gil", 1, 50, False))
+        with pytest.raises(SchemaError):
+            delta.apply_to(two_table_db.copy())
+
+
+class TestDeltaFromEditScript:
+    def test_modifications_grouped_per_tuple_and_resolved_to_ids(self, two_table_db):
+        base = two_table_db.relation("Emp")
+        target = base.copy()
+        target.update_value(0, "salary", 95)
+        target.update_value(0, "senior", False)  # two cells of one tuple
+        # minEdit represents replacing Bo with Fay as one multi-cell MODIFY
+        # (cost = arity, cheaper than delete + insert at 2x arity).
+        target.delete(1)
+        target.insert([6, "Fay", 1, 120, True])
+
+        script = min_edit_script(base, target)
+        delta = delta_from_edit_script(base, script)
+        assert set(delta.updates_for("Emp")) == {0, 1}
+        assert delta.updates_for("Emp")[0] == (1, "Ann", 1, 95, False)
+        assert delta.updates_for("Emp")[1] == (6, "Fay", 1, 120, True)
+
+        # Replaying the resolved delta reproduces the script's target relation.
+        replayed = delta.apply_to(two_table_db.copy())
+        assert replayed.relation("Emp").bag_equal(target)
+
+    def test_pure_insert_and_delete_resolved(self, two_table_db):
+        base = two_table_db.relation("Emp")
+        target = base.copy()
+        target.delete(1)  # drop Bo entirely (no replacement row)
+
+        delta = delta_from_edit_script(base, min_edit_script(base, target))
+        assert delta.deletes_for("Emp") == frozenset({1})
+        assert delta.apply_to(two_table_db.copy()).relation("Emp").bag_equal(target)
+
+        grown = base.copy()
+        grown.insert([6, "Fay", 1, 120, True])
+        delta = delta_from_edit_script(base, min_edit_script(base, grown))
+        assert list(delta.inserts_for("Emp").values()) == [(6, "Fay", 1, 120, True)]
+        assert delta.apply_to(two_table_db.copy()).relation("Emp").bag_equal(grown)
+
+    def test_duplicate_rows_modified_identically_stay_distinct(self):
+        # Bag semantics: two identical rows both change the same way. The
+        # script emits two identical MODIFY runs; they must resolve to two
+        # distinct tuple updates, not be collapsed into one.
+        base = Relation.from_rows("T", ["a", "b"], [[1, "A"], [1, "A"], [2, "B"]])
+        target = Relation.from_rows("T", ["a", "b"], [[1, "Z"], [1, "Z"], [2, "B"]])
+        script = min_edit_script(base, target)
+        assert len(script.row_changes()) == 2
+
+        delta = delta_from_edit_script(base, script)
+        assert len(delta.updates_for("T")) == 2
+        replayed = base.copy()
+        for tuple_id, values in delta.updates_for("T").items():
+            replayed.replace_tuple(tuple_id, values)
+        assert replayed.bag_equal(target)
+
+    def test_unmatched_row_raises(self, two_table_db):
+        base = two_table_db.relation("Emp")
+        other = Relation.from_rows(
+            "Emp", list(base.schema.attribute_names), [[9, "Zed", 1, 1, False]]
+        )
+        script = min_edit_script(other, other.copy())
+        # Craft a script op whose source row does not exist in ``base``.
+        from repro.relational.edit import EditKind, EditOperation, EditScript
+
+        bogus = EditScript(
+            (EditOperation(kind=EditKind.DELETE, relation="Emp", source_row=(9, "Zed", 1, 1, False)),)
+        )
+        with pytest.raises(SchemaError):
+            delta_from_edit_script(base, bogus)

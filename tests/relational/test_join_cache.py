@@ -1,13 +1,18 @@
 """Lifecycle tests for the extended :class:`JoinCache`.
 
 Covers superset-join reuse, the columnar view / term-mask cache riding along
-with cached joins, batch evaluation through the cache, and the id-keyed
-invalidation contract for modified database copies.
+with cached joins, batch evaluation through the cache, the id-keyed
+invalidation contract for modified database copies, and the lifetime of
+delta-derived entries — which must never outlive the base entry they were
+patched out of (neither on explicit invalidation nor when the base database
+is garbage-collected).
 """
 
 from __future__ import annotations
 
+from repro.relational.delta import TupleDelta
 from repro.relational.evaluator import JoinCache, evaluate
+from repro.relational.join import JOIN_STATS
 from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
 from repro.relational.query import SPJQuery
 
@@ -125,3 +130,97 @@ class TestInvalidation:
         cache.join_for(two_table_db.copy(), ["Emp"])
         cache.clear()
         assert cache.cached_join_count == 0
+
+
+def _raise_salary(base, tuple_id=3, salary=99):
+    """A modified copy of *base* plus the update-only delta describing it."""
+    derived = base.copy()
+    derived.relation("Emp").update_value(tuple_id, "salary", salary)
+    delta = TupleDelta()
+    delta.record_update(
+        "Emp", tuple_id, derived.relation("Emp").tuple_by_id(tuple_id).values
+    )
+    return derived, delta
+
+
+class TestDerivedEntries:
+    def test_derive_patches_instead_of_rejoining(self, two_table_db):
+        cache = JoinCache()
+        base_join = cache.join_for(two_table_db, ["Emp", "Dept"])
+        derived_db, delta = _raise_salary(two_table_db)
+        JOIN_STATS.reset()
+        derived_join = cache.derive(two_table_db, delta, derived_db, ["Emp", "Dept"])
+        assert JOIN_STATS.full_joins == 0 and JOIN_STATS.delta_applies == 1
+        assert derived_join is cache.join_for(derived_db, ["Emp", "Dept"])  # memoized
+        assert derived_join is not base_join
+        result = cache.evaluate(_salary_query(60), derived_db)
+        assert sorted(r[0] for r in result.rows()) == ["Ann", "Cy", "Di", "Ed"]
+        # the base entry still serves the unmodified database
+        unchanged = cache.evaluate(_salary_query(60), two_table_db)
+        assert sorted(r[0] for r in unchanged.rows()) == ["Ann", "Cy", "Ed"]
+
+    def test_signatures_derive_on_demand(self, two_table_db):
+        cache = JoinCache()
+        derived_db, delta = _raise_salary(two_table_db)
+        cache.derive(two_table_db, delta, derived_db)  # no eager signature
+        assert cache.derived_link_count == 1
+        JOIN_STATS.reset()
+        cache.join_for(derived_db, ["Emp"])
+        # only the (cold) base join of the signature is built; the derived
+        # entry itself is patched out of it
+        assert JOIN_STATS.full_joins == 1 and JOIN_STATS.delta_applies == 1
+        assert cache.cached_join_count == 2
+
+    def test_invalidate_base_evicts_derived_entries(self, two_table_db):
+        cache = JoinCache()
+        cache.join_for(two_table_db, ["Emp"])
+        derived_db, delta = _raise_salary(two_table_db)
+        cache.derive(two_table_db, delta, derived_db, ["Emp"])
+        assert cache.cached_join_count == 2
+        cache.invalidate(two_table_db)
+        # base gone -> derived entries (patched out of it) are gone too
+        assert cache.cached_join_count == 0
+        assert cache.derived_link_count == 0
+
+    def test_invalidate_derived_keeps_base(self, two_table_db):
+        cache = JoinCache()
+        base_join = cache.join_for(two_table_db, ["Emp"])
+        derived_db, delta = _raise_salary(two_table_db)
+        cache.derive(two_table_db, delta, derived_db, ["Emp"])
+        cache.invalidate(derived_db)
+        assert cache.cached_join_count == 1
+        assert cache.derived_link_count == 0
+        assert cache.join_for(two_table_db, ["Emp"]) is base_join
+
+    def test_base_garbage_collection_evicts_derived_entries(self, two_table_db):
+        cache = JoinCache()
+        base = two_table_db.copy()
+        derived_db, delta = _raise_salary(base)
+        cache.derive(base, delta, derived_db, ["Emp"])
+        assert cache.cached_join_count == 2  # base signature + derived entry
+        del base  # finalizer fires: base entries AND derived children evicted
+        assert cache.cached_join_count == 0
+        assert cache.derived_link_count == 0
+        # the derived database remains usable — it just rebuilds cold now
+        JOIN_STATS.reset()
+        result = cache.evaluate(_salary_query(60), derived_db)
+        assert JOIN_STATS.full_joins == 1
+        assert sorted(r[0] for r in result.rows()) == ["Ann", "Cy", "Di", "Ed"]
+
+    def test_derived_garbage_collection_severs_link_only(self, two_table_db):
+        cache = JoinCache()
+        base_join = cache.join_for(two_table_db, ["Emp"])
+        derived_db, delta = _raise_salary(two_table_db)
+        cache.derive(two_table_db, delta, derived_db, ["Emp"])
+        del derived_db
+        assert cache.derived_link_count == 0
+        assert cache.cached_join_count == 1
+        assert cache.join_for(two_table_db, ["Emp"]) is base_join
+
+    def test_clear_resets_links(self, two_table_db):
+        cache = JoinCache()
+        derived_db, delta = _raise_salary(two_table_db)
+        cache.derive(two_table_db, delta, derived_db, ["Emp"])
+        cache.clear()
+        assert cache.cached_join_count == 0
+        assert cache.derived_link_count == 0
