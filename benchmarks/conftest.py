@@ -6,15 +6,83 @@ dataset scale controlled by the ``QFE_BENCH_SCALE`` environment variable
 paper's full row counts). Heavy benchmarks run a single round via
 ``benchmark.pedantic`` — the interesting output is the regenerated table
 itself, which is attached to the benchmark's ``extra_info`` and printed.
+
+After any run that actually collected benchmark statistics, a
+machine-readable summary is written to ``benchmarks/BENCH_components.json``:
+per benchmark group, the median seconds of every test plus its speedup
+against the group's designated reference implementation (row-at-a-time for
+``candidate-batch``, cold rebuild for ``delta-derive``, the serial backend
+for ``round-planner``). CI uploads the file as an artifact so the perf
+trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 BENCH_SCALE = float(os.environ.get("QFE_BENCH_SCALE", "0.06"))
+
+#: Where the machine-readable benchmark summary is written.
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_components.json"
+
+#: Per group, the benchmark every other member's speedup is measured against.
+_GROUP_REFERENCES = {
+    "candidate-batch": "test_bench_all_candidates_rowwise_reference",
+    "delta-derive": "test_bench_candidate_evaluation_rebuild",
+    "round-planner": "test_bench_round_planner_serial",
+}
+
+
+def _collect_benchmark_stats(session) -> list[tuple[str, str, float]]:
+    """``(group, name, median seconds)`` for every benchmark that ran."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return []
+    collected: list[tuple[str, str, float]] = []
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        median = getattr(stats, "median", None)
+        if median is None:  # nested Stats container on some versions
+            median = getattr(getattr(stats, "stats", None), "median", None)
+        if median is None:
+            continue
+        group = getattr(bench, "group", None) or "ungrouped"
+        name = getattr(bench, "name", None) or getattr(bench, "fullname", "unknown")
+        collected.append((group, str(name), float(median)))
+    return collected
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write ``BENCH_components.json`` when benchmark statistics were collected."""
+    try:
+        stats = _collect_benchmark_stats(session)
+        if not stats:
+            return
+        groups: dict[str, dict] = {}
+        for group, name, median in stats:
+            entry = groups.setdefault(
+                group, {"reference": _GROUP_REFERENCES.get(group), "tests": {}}
+            )
+            entry["tests"][name] = {"median_seconds": median}
+        for entry in groups.values():
+            reference = entry["tests"].get(entry["reference"], {}).get("median_seconds")
+            for test in entry["tests"].values():
+                test["speedup_vs_reference"] = (
+                    reference / test["median_seconds"]
+                    if reference and test["median_seconds"] > 0
+                    else None
+                )
+        BENCH_RESULTS_PATH.write_text(
+            json.dumps({"scale": BENCH_SCALE, "groups": groups}, indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+    except Exception:  # pragma: no cover - never fail a test run over reporting
+        pass
 
 
 @pytest.fixture(scope="session")

@@ -16,8 +16,12 @@ echo "== differential oracles: columnar + delta maintenance vs row-at-a-time ref
 python -m pytest -q tests/relational/test_columnar.py tests/relational/test_delta_maintenance.py tests/sql/test_sqlite_backend.py
 
 echo
-echo "== regression guard: delta-derive path performs no full join rebuild =="
-python -m pytest -q benchmarks/test_bench_components.py -k delta_derive_path --benchmark-disable
+echo "== regression guards: delta-derive path and parallel workers perform no full join rebuild =="
+python -m pytest -q benchmarks/test_bench_components.py -k "delta_derive_path or zero_worker" --benchmark-disable
+
+echo
+echo "== differential: process-pool round planner is bit-identical to the serial oracle (Q1-Q6) =="
+python -m pytest -q tests/integration/test_parallel_differential.py -m ""
 
 if [[ "${1:-}" == "--slow" ]]; then
     echo

@@ -32,6 +32,7 @@ from repro.core import (
     QFESession,
     ScriptedSelector,
 )
+from repro.core.config import nonnegative_int
 from repro.datasets import adult, baseball, employee, scientific
 from repro.exceptions import ReproError
 from repro.qbo import QBOConfig
@@ -76,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-candidates", type=int, default=40, help="candidate-set size cap")
     parser.add_argument("--delta", type=float, default=1.0, help="Algorithm 3 time threshold (s)")
     parser.add_argument("--beta", type=float, default=1.0, help="relation-count scale factor β")
+    parser.add_argument(
+        "--workers", type=nonnegative_int, default=0,
+        help="worker processes for the round planner's candidate search "
+             "(0/1 = serial; results are identical at any worker count)",
+    )
     return parser
 
 
@@ -160,7 +166,7 @@ def main(argv: Sequence[str] | None = None, *, output=None) -> int:
     session = QFESession(
         database,
         result,
-        config=QFEConfig(beta=args.beta, delta_seconds=args.delta),
+        config=QFEConfig(beta=args.beta, delta_seconds=args.delta, workers=args.workers),
         qbo_config=QBOConfig(threshold_variants=2, max_candidates=args.max_candidates),
     )
     try:

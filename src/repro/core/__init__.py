@@ -17,6 +17,13 @@ from repro.core.cost_model import (
     estimate_iterations_refined,
 )
 from repro.core.database_generator import DatabaseGenerationResult, DatabaseGenerator
+from repro.core.execution_backend import (
+    AttemptOutcome,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    create_backend,
+)
 from repro.core.extensions import GroupedSessionResult, group_by_join_schema, run_grouped_session
 from repro.core.feedback import (
     NONE_OF_THE_ABOVE,
@@ -31,9 +38,11 @@ from repro.core.feedback import (
 )
 from repro.core.materialize import AppliedModification, MaterializationResult, materialize_pairs
 from repro.core.modification import ClassPair, PairSetEffect, simulate_pair_set
-from repro.core.partitioner import QueryGroup, QueryPartition, partition_queries
+from repro.core.partitioner import QueryGroup, QueryPartition, partition_queries, partition_signature
+from repro.core.round_planner import RoundPlan, RoundPlanner
 from repro.core.session import IterationRecord, QFESession, SessionResult
 from repro.core.skyline import SkylineResult, skyline_stc_dtc_pairs
+from repro.core.timing import Stopwatch, monotonic_seconds
 from repro.core.subset_selection import SubsetSelectionResult, pick_stc_dtc_subset
 from repro.core.tuple_class import DomainPartition, DomainSubset, TupleClass, TupleClassSpace
 
@@ -66,8 +75,18 @@ __all__ = [
     "MaterializationResult",
     "AppliedModification",
     "partition_queries",
+    "partition_signature",
     "QueryPartition",
     "QueryGroup",
+    "RoundPlanner",
+    "RoundPlan",
+    "AttemptOutcome",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "create_backend",
+    "Stopwatch",
+    "monotonic_seconds",
     "build_feedback_round",
     "FeedbackRound",
     "ResultOption",

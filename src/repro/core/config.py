@@ -13,7 +13,20 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["IterationEstimator", "QFEConfig"]
+__all__ = ["IterationEstimator", "QFEConfig", "nonnegative_int"]
+
+
+def nonnegative_int(text: str) -> int:
+    """``argparse`` type for counts that must be ≥ 0 (e.g. ``--workers``).
+
+    Validates at parse time — before any dataset is loaded — and keeps the
+    invariant in one place for every CLI; a bad value makes ``argparse``
+    exit with status 2 and a usage message on stderr.
+    """
+    value = int(text)
+    if value < 0:
+        raise ValueError("must be non-negative")
+    return value
 
 
 class IterationEstimator(enum.Enum):
@@ -73,6 +86,12 @@ class QFEConfig:
         Never modify primary-key or foreign-key columns when materializing a
         destination tuple class (keeps every generated database trivially
         valid; disable to exercise the constraint checker instead).
+    workers:
+        How many worker processes the round planner's candidate-modification
+        search fans out over. ``0`` (the default) and ``1`` run the serial
+        in-process backend; ``2`` or more shard the search over a process
+        pool seeded with a delta-replicated snapshot of the base database.
+        Results are bit-identical regardless of the worker count.
     """
 
     beta: float = 1.0
@@ -87,6 +106,7 @@ class QFEConfig:
     validate_constraints: bool = True
     set_semantics: bool = False
     protect_key_columns: bool = True
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.beta < 0:
@@ -103,6 +123,8 @@ class QFEConfig:
             raise ValueError("growth_pool_size must be at least 1")
         if self.max_sets_per_level < 1:
             raise ValueError("max_sets_per_level must be at least 1")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
 
     def with_overrides(self, **overrides) -> "QFEConfig":
         """A copy of this configuration with selected fields replaced."""

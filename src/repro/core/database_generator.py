@@ -9,11 +9,19 @@ Each QFE iteration calls :class:`DatabaseGenerator` with the original pair
    threshold ``δ``;
 3. selects a low-cost subset of pairs with Algorithm 4 under the Section 3
    cost model (or an alternative objective for the user-study baseline);
-4. materializes the selected pairs into a concrete modified database ``D'``,
-   preferring side-effect-free, constraint-preserving changes;
-5. verifies by exact evaluation that ``D'`` actually distinguishes the
-   candidates, retrying with the next-best pair subsets when the heuristic
-   abstraction and the concrete data disagree.
+4. scores candidate materializations — the selected subset first, then the
+   skyline singles in balance order — until one concretely distinguishes the
+   candidates, retrying past heuristic/concrete disagreements;
+5. materializes the winning attempt into ``D'`` and computes the exact
+   candidate partition presented to the user.
+
+Since the parallel-round-planner refactor the generator is a thin shell over
+:class:`~repro.core.round_planner.RoundPlanner`: step 4 — the per-iteration
+hot loop — runs on a pluggable
+:class:`~repro.core.execution_backend.ExecutionBackend`, either serially in
+process (the differential oracle) or sharded across a pool of worker
+processes holding a delta-replicated snapshot of the base state. Results are
+bit-identical for every backend and worker count.
 
 The result carries everything the experiment harness reports per iteration
 (skyline pair count, timings of the three steps, modification costs).
@@ -21,47 +29,18 @@ The result carries everything the experiment harness reports per iteration
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Sequence
 
 from repro.core.config import QFEConfig
-from repro.core.cost_model import CostBreakdown
-from repro.core.materialize import MaterializationResult, materialize_pairs
-from repro.core.modification import ClassPair, PairSetSimulator
-from repro.core.partitioner import QueryPartition, partition_queries
-from repro.core.skyline import SkylineResult, skyline_stc_dtc_pairs
-from repro.core.subset_selection import ScoreFunction, SubsetSelectionResult, pick_stc_dtc_subset
-from repro.core.tuple_class import TupleClassSpace
-from repro.exceptions import DatabaseGenerationError
+from repro.core.execution_backend import ExecutionBackend, create_backend
+from repro.core.round_planner import DatabaseGenerationResult, RoundPlanner
+from repro.core.subset_selection import ScoreFunction
 from repro.relational.database import Database
 from repro.relational.evaluator import JoinCache
 from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
 
 __all__ = ["DatabaseGenerationResult", "DatabaseGenerator"]
-
-
-@dataclass
-class DatabaseGenerationResult:
-    """The modified database of one iteration plus all per-step diagnostics."""
-
-    database: Database
-    partition: QueryPartition
-    materialization: MaterializationResult
-    skyline: SkylineResult
-    selection: SubsetSelectionResult
-    chosen_pairs: tuple[ClassPair, ...]
-    chosen_cost: CostBreakdown | None
-    skyline_seconds: float
-    selection_seconds: float
-    materialize_seconds: float
-    fallback_attempts: int = 0
-
-    @property
-    def total_seconds(self) -> float:
-        """Combined Database Generator time for the iteration."""
-        return self.skyline_seconds + self.selection_seconds + self.materialize_seconds
 
 
 class DatabaseGenerator:
@@ -73,15 +52,34 @@ class DatabaseGenerator:
         *,
         score: ScoreFunction | None = None,
         join_cache: JoinCache | None = None,
+        backend: ExecutionBackend | None = None,
+        workers: int | None = None,
     ) -> None:
         self.config = config or QFEConfig()
         self.score = score
-        # Caches the original database's joins (and their columnar views /
-        # term masks) across iterations — the session calls generate() with
-        # the same ``original`` every round. Entries evict automatically when
-        # a database is garbage-collected; only in-place modification of a
-        # live cached database requires ``join_cache.invalidate``.
-        self.join_cache = join_cache if join_cache is not None else JoinCache()
+        if backend is None:
+            backend = create_backend(
+                workers if workers is not None else self.config.workers
+            )
+        # The planner owns the join cache: the original database's joins (and
+        # their columnar views / term masks) stay warm across iterations —
+        # the session calls generate() with the same ``original`` every
+        # round. Entries evict automatically when a database is
+        # garbage-collected; only in-place modification of a live cached
+        # database requires ``join_cache.invalidate``.
+        self.planner = RoundPlanner(
+            self.config, score=score, join_cache=join_cache, backend=backend
+        )
+
+    @property
+    def join_cache(self) -> JoinCache:
+        """The session-wide join cache (shared with the planner)."""
+        return self.planner.join_cache
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend the candidate-modification search runs on."""
+        return self.planner.backend
 
     def generate(
         self,
@@ -90,101 +88,8 @@ class DatabaseGenerator:
         queries: Sequence[SPJQuery],
     ) -> DatabaseGenerationResult:
         """Produce ``D'`` distinguishing *queries*; raises if no modification helps."""
-        if len(queries) < 2:
-            raise DatabaseGenerationError("need at least two candidate queries to distinguish")
-        config = self.config
+        return self.planner.plan_round(original, result, queries)
 
-        # Join only the relations the candidates actually reference (Section 5
-        # assumes a shared join schema; this also keeps databases with
-        # unrelated extra tables usable).
-        referenced = sorted({table for query in queries for table in query.tables})
-        try:
-            joined = self.join_cache.join_for(original, referenced)
-        except Exception as exc:
-            raise DatabaseGenerationError(
-                f"cannot materialize the join of {referenced}: {exc}"
-            ) from exc
-        space = TupleClassSpace(joined, queries)
-        if space.attribute_count == 0:
-            raise DatabaseGenerationError(
-                "candidate queries have no selection predicates to distinguish"
-            )
-        result_arity = result.schema.arity
-        simulator = PairSetSimulator(space, result_arity=result_arity)
-
-        started = perf_counter()
-        skyline = skyline_stc_dtc_pairs(
-            space, config, result_arity=result_arity, simulator=simulator
-        )
-        skyline_seconds = perf_counter() - started
-        if not skyline.pairs:
-            raise DatabaseGenerationError("Algorithm 3 found no distinguishing tuple-class pairs")
-
-        started = perf_counter()
-        selection = pick_stc_dtc_subset(
-            space,
-            skyline.pairs,
-            config,
-            result_arity=result_arity,
-            most_balanced_binary_x=skyline.most_balanced_binary_x,
-            score=self.score,
-            simulator=simulator,
-        )
-        selection_seconds = perf_counter() - started
-        if not selection.found:
-            raise DatabaseGenerationError("Algorithm 4 found no distinguishing pair subset")
-
-        # Materialize the chosen subset; if the concrete database fails to
-        # split the candidates (side effects, value collisions), fall back to
-        # other skyline pairs ordered by their single-pair balance.
-        attempts: list[tuple[ClassPair, ...]] = [selection.chosen_pairs]
-        ordered_singles = sorted(
-            skyline.pairs, key=lambda pair: (skyline.pair_balances.get(pair, float("inf")), str(pair))
-        )
-        attempts.extend((pair,) for pair in ordered_singles if (pair,) != selection.chosen_pairs)
-
-        started = perf_counter()
-        fallback_attempts = 0
-        last_error: str | None = None
-        for pairs in attempts[: 1 + len(ordered_singles)]:
-            materialization = materialize_pairs(space, pairs, original, config)
-            if not materialization.applied:
-                fallback_attempts += 1
-                last_error = "no class pair could be materialized"
-                continue
-            # Evaluate the candidates on D' through the *derived* cache path:
-            # the recorded update-only delta patches the original database's
-            # cached join, columnar view and term masks in O(|Δ|), so each
-            # verification attempt skips the full join rebuild entirely. The
-            # entries die with the attempt's database (weakref finalizer) or
-            # with the base entry, whichever goes first.
-            if materialization.delta.is_update_only and not materialization.delta.is_empty:
-                self.join_cache.derive(original, materialization.delta, materialization.database)
-            partition = partition_queries(
-                queries,
-                materialization.database,
-                set_semantics=config.set_semantics,
-                result_name=result.schema.name,
-                join_cache=self.join_cache,
-            )
-            if partition.distinguishes:
-                materialize_seconds = perf_counter() - started
-                return DatabaseGenerationResult(
-                    database=materialization.database,
-                    partition=partition,
-                    materialization=materialization,
-                    skyline=skyline,
-                    selection=selection,
-                    chosen_pairs=tuple(pairs),
-                    chosen_cost=selection.chosen_cost if pairs == selection.chosen_pairs else None,
-                    skyline_seconds=skyline_seconds,
-                    selection_seconds=selection_seconds,
-                    materialize_seconds=materialize_seconds,
-                    fallback_attempts=fallback_attempts,
-                )
-            fallback_attempts += 1
-            last_error = "materialized database did not distinguish any candidates"
-        raise DatabaseGenerationError(
-            f"could not generate a distinguishing database: {last_error} "
-            f"after {fallback_attempts} attempts"
-        )
+    def close(self) -> None:
+        """Release backend resources (worker pools); the generator stays usable."""
+        self.planner.close()

@@ -1,0 +1,567 @@
+"""Execution backends for the round planner's candidate-modification search.
+
+Every QFE round scores a deterministic sequence of *attempts* — candidate
+class-pair sets, the Algorithm 4 subset first, then the skyline singles in
+balance order — by concretely materializing each attempt against the base
+database and computing the exact candidate-query partition it induces. The
+attempts are independent, which makes the search embarrassingly parallel;
+this module provides the two interchangeable substrates the
+:class:`~repro.core.round_planner.RoundPlanner` runs it on:
+
+* :class:`SerialBackend` evaluates attempts in order, in process, against the
+  driver's own join cache. It is the differential oracle: the process-pool
+  backend must produce bit-identical outcomes.
+* :class:`ProcessPoolBackend` broadcasts a pickled
+  :class:`~repro.relational.evaluator.BaseSnapshot` of the base database and
+  its joins to each worker exactly once, shards the attempts into contiguous
+  :class:`WorkUnit`\\ s, and merges worker outcomes back in attempt order.
+  Workers evaluate purely by applying
+  :class:`~repro.relational.delta.TupleDelta`\\ s to the snapshotted joins —
+  zero full joins worker-side, pinned via
+  :data:`~repro.relational.join.JOIN_STATS` and reported per outcome.
+
+Determinism contract: attempt evaluation is a pure function of
+``(base database, round context, attempt)`` — materialization, delta
+application and fingerprinting contain no randomness — and outcomes are
+merged by ascending attempt index, so the winning attempt is independent of
+worker count, scheduling order and sharding. Any future stochastic scoring
+must draw its seed from :func:`attempt_seed`, which depends only on the round
+token and the absolute attempt index (not on the work-unit layout), keeping
+the contract intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+import weakref
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.config import QFEConfig
+from repro.core.materialize import materialize_pairs
+from repro.core.modification import ClassPair
+from repro.core.partitioner import partition_signature
+from repro.core.tuple_class import TupleClassSpace
+from repro.relational.database import Database
+from repro.relational.evaluator import BaseSnapshot, JoinCache
+from repro.relational.join import JOIN_STATS
+from repro.relational.query import SPJQuery
+
+__all__ = [
+    "RoundContext",
+    "WorkUnit",
+    "AttemptOutcome",
+    "RoundRuntime",
+    "RoundSetup",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "create_backend",
+    "shard_attempts",
+    "attempt_seed",
+    "required_signatures",
+    "build_round_runtime",
+    "evaluate_attempt",
+    "evaluate_work_unit",
+]
+
+Attempt = tuple[ClassPair, ...]
+
+
+# --------------------------------------------------------------------- payloads
+@dataclass(frozen=True)
+class RoundContext:
+    """The picklable per-round description shipped to every backend.
+
+    ``token`` identifies the round (workers key their rehydrated runtime on
+    it); everything else is what a worker needs — besides the broadcast base
+    snapshot — to rebuild the tuple-class space and score attempts.
+    """
+
+    token: str
+    queries: tuple[SPJQuery, ...]
+    config: QFEConfig
+    referenced: tuple[str, ...]
+    result_name: str
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """A contiguous shard of the round's attempt sequence."""
+
+    index: int
+    start: int
+    attempts: tuple[Attempt, ...]
+
+    def __len__(self) -> int:
+        return len(self.attempts)
+
+
+@dataclass(frozen=True)
+class AttemptOutcome:
+    """The compact, picklable result of concretely scoring one attempt.
+
+    Workers return these instead of materialized databases or result
+    relations: the partition signature (canonical group id per query, see
+    :func:`~repro.core.partitioner.partition_signature`) plus the
+    modification counts are enough for the driver to rank attempts and
+    re-materialize only the winner. ``full_joins`` reports how many full
+    join materializations the evaluation performed — the delta-only worker
+    protocol requires it to be zero.
+    """
+
+    attempt_index: int
+    pairs: Attempt
+    applied: bool
+    distinguishes: bool
+    signature: tuple[int, ...] | None
+    group_sizes: tuple[int, ...]
+    modification_count: int
+    modified_tuple_count: int
+    modified_relation_count: int
+    side_effect_count: int
+    skipped_pair_count: int
+    db_cost: float
+    full_joins: int
+
+
+@dataclass
+class RoundRuntime:
+    """The state attempts are evaluated against (driver- or worker-side)."""
+
+    database: Database
+    space: TupleClassSpace
+    join_cache: JoinCache
+
+
+@dataclass
+class RoundSetup:
+    """Everything a backend needs to run one round's attempts.
+
+    ``context`` is the picklable part; ``database``/``space``/``join_cache``
+    are the driver-local live objects the serial backend evaluates against;
+    ``snapshot_provider`` lazily captures (and memoizes, planner-side) the
+    :class:`BaseSnapshot` the process-pool backend broadcasts.
+
+    ``winner_store`` is an optional driver-local sink: an in-process backend
+    that concretely scored the winning attempt may deposit the winner's
+    :class:`MaterializationResult` (keys ``attempt_index`` and
+    ``materialization``, with the derived cache entry left registered) so
+    the planner's finalize step reuses it instead of re-materializing.
+    Remote backends ignore it — their workers only ship compact outcomes.
+    """
+
+    context: RoundContext
+    database: Database
+    space: TupleClassSpace
+    join_cache: JoinCache
+    snapshot_provider: Callable[[], BaseSnapshot]
+    winner_store: dict | None = None
+
+
+# --------------------------------------------------------------------- sharding
+def shard_attempts(attempts: Sequence[Attempt], unit_count: int) -> list[WorkUnit]:
+    """Split *attempts* into at most *unit_count* contiguous, balanced work units.
+
+    Units preserve attempt order (unit ``i`` holds a contiguous slice that
+    starts where unit ``i-1`` ended) and differ in size by at most one, so
+    merging unit results by unit index reproduces the serial attempt order
+    exactly — the invariant behind backend-independent winners.
+    """
+    total = len(attempts)
+    if total == 0:
+        return []
+    unit_count = max(1, min(unit_count, total))
+    base_size, remainder = divmod(total, unit_count)
+    units: list[WorkUnit] = []
+    start = 0
+    for index in range(unit_count):
+        size = base_size + (1 if index < remainder else 0)
+        units.append(
+            WorkUnit(
+                index=index,
+                start=start,
+                attempts=tuple(tuple(attempt) for attempt in attempts[start : start + size]),
+            )
+        )
+        start += size
+    return units
+
+
+def attempt_seed(token: str, attempt_index: int) -> int:
+    """Deterministic RNG seed for one attempt, independent of sharding.
+
+    Derived from the round token and the *absolute* attempt index — never
+    from the work-unit layout — so any stochastic scoring seeded from it
+    produces the same stream regardless of the worker count.
+    """
+    digest = hashlib.sha256(f"{token}:{attempt_index}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def required_signatures(context: RoundContext) -> tuple[tuple[str, ...], ...]:
+    """All join signatures a backend must be able to serve for the round."""
+    signatures = {tuple(sorted(context.referenced))}
+    for query in context.queries:
+        signatures.add(tuple(sorted(query.join_signature)))
+    return tuple(sorted(signatures))
+
+
+# ------------------------------------------------------------------- evaluation
+def build_round_runtime(
+    database: Database, join_cache: JoinCache, context: RoundContext
+) -> RoundRuntime:
+    """Build (and warm) the evaluation state for one round.
+
+    The tuple-class space is reconstructed from the cached join of the
+    referenced tables — deterministic, so worker-side spaces match the
+    driver's bit for bit. The base joins for every query signature are then
+    warmed (at most once per live join instance, across rounds) so each
+    attempt's delta-derived view patches cached term masks in O(|Δ|)
+    instead of rebuilding them.
+    """
+    joined = join_cache.join_for(database, context.referenced)
+    space = TupleClassSpace(joined, context.queries)
+    ensure_base_masks_warm(database, join_cache, context)
+    return RoundRuntime(database=database, space=space, join_cache=join_cache)
+
+
+def warm_base_masks(database: Database, join_cache: JoinCache, context: RoundContext) -> None:
+    """Evaluate the candidate batch once on the base to populate term masks."""
+    join_cache.evaluate_batch(
+        context.queries,
+        database,
+        set_semantics=context.config.set_semantics,
+        name=context.result_name,
+        with_fingerprints=False,
+    )
+
+
+# Base joins whose term masks were already warmed, tracked process-wide by
+# join-object identity via weakrefs: a join served by a long-lived cache
+# (driver or worker) is warmed once across all rounds — later rounds'
+# candidates are (near-)subsets of the first round's, and a genuinely new
+# term just builds lazily on the derived view as it always did — while a
+# rebuilt join (``join_cache.invalidate`` after an in-place base mutation)
+# is a new object and is warmed again. Dead or id-recycled joins can never
+# satisfy the guard.
+_WARMED_BASE_JOINS: dict[int, weakref.ref] = {}
+
+
+def ensure_base_masks_warm(
+    database: Database, join_cache: JoinCache, context: RoundContext
+) -> None:
+    """Warm the base term masks at most once per live join instance."""
+    joined = join_cache.join_for(database, context.referenced)
+    ref = _WARMED_BASE_JOINS.get(id(joined))
+    if ref is not None and ref() is joined:
+        return
+    warm_base_masks(database, join_cache, context)
+    for key, stale in list(_WARMED_BASE_JOINS.items()):
+        if stale() is None:
+            del _WARMED_BASE_JOINS[key]
+    _WARMED_BASE_JOINS[id(joined)] = weakref.ref(joined)
+
+
+def evaluate_attempt(
+    runtime: RoundRuntime,
+    context: RoundContext,
+    attempt_index: int,
+    pairs: Attempt,
+    winner_store: dict | None = None,
+) -> AttemptOutcome:
+    """Concretely score one attempt: materialize, delta-derive, partition.
+
+    The attempt's class pairs are materialized against a copy of the base
+    database; the recorded update-only delta then patches the cached base
+    join (via :meth:`JoinCache.derive`), the candidates are batch-evaluated
+    on the derived state, and only the canonical partition signature plus
+    modification counts survive. The derived cache entry is released before
+    returning so a long shard never pins more than one candidate database —
+    except when *winner_store* is given and the attempt wins (applied and
+    distinguishing): then the materialization is deposited there with its
+    derived entry kept registered, so an in-process caller can finalize the
+    round without repeating the materialization.
+    """
+    config = context.config
+    joins_before = JOIN_STATS.full_joins
+    materialization = materialize_pairs(runtime.space, pairs, runtime.database, config)
+    applied = bool(materialization.applied)
+    signature: tuple[int, ...] | None = None
+    group_sizes: tuple[int, ...] = ()
+    distinguishes = False
+    if applied:
+        delta = materialization.delta
+        if delta.is_update_only and not delta.is_empty:
+            runtime.join_cache.derive(runtime.database, delta, materialization.database)
+        try:
+            batch = runtime.join_cache.evaluate_batch(
+                context.queries,
+                materialization.database,
+                set_semantics=config.set_semantics,
+                name=context.result_name,
+            )
+            signature = partition_signature(batch.fingerprints)
+        except BaseException:
+            runtime.join_cache.invalidate(materialization.database)
+            raise
+        sizes: dict[int, int] = {}
+        for group_id in signature:
+            sizes[group_id] = sizes.get(group_id, 0) + 1
+        group_sizes = tuple(sorted(sizes.values(), reverse=True))
+        distinguishes = len(sizes) > 1
+        if winner_store is not None and distinguishes:
+            winner_store["attempt_index"] = attempt_index
+            winner_store["materialization"] = materialization
+            winner_store["batch"] = batch
+        else:
+            runtime.join_cache.invalidate(materialization.database)
+    return AttemptOutcome(
+        attempt_index=attempt_index,
+        pairs=tuple(pairs),
+        applied=applied,
+        distinguishes=distinguishes,
+        signature=signature,
+        group_sizes=group_sizes,
+        modification_count=materialization.modification_count,
+        modified_tuple_count=materialization.modified_tuple_count,
+        modified_relation_count=materialization.modified_relation_count,
+        side_effect_count=materialization.side_effect_count,
+        skipped_pair_count=len(materialization.skipped_pairs),
+        db_cost=materialization.modification_count
+        + config.beta * materialization.modified_relation_count,
+        full_joins=JOIN_STATS.full_joins - joins_before,
+    )
+
+
+def evaluate_work_unit(
+    runtime: RoundRuntime, context: RoundContext, unit: WorkUnit
+) -> tuple[AttemptOutcome, ...]:
+    """Score every attempt of one work unit, in order."""
+    return tuple(
+        evaluate_attempt(runtime, context, unit.start + offset, pairs)
+        for offset, pairs in enumerate(unit.attempts)
+    )
+
+
+# --------------------------------------------------------------------- backends
+class ExecutionBackend(ABC):
+    """Pluggable substrate the round planner runs attempt evaluation on."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_attempts(
+        self, setup: RoundSetup, attempts: Sequence[Attempt], *, stop_at_first: bool
+    ) -> list[AttemptOutcome]:
+        """Score *attempts* and return their outcomes in ascending attempt order.
+
+        With ``stop_at_first`` the backend may stop scheduling new work once
+        an applied-and-distinguishing outcome is known, but the returned list
+        must still contain every outcome for attempts preceding the winner.
+        """
+
+    def close(self) -> None:
+        """Release any resources (worker pools); the backend stays reusable."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, in-order evaluation — the differential oracle."""
+
+    name = "serial"
+
+    def run_attempts(
+        self, setup: RoundSetup, attempts: Sequence[Attempt], *, stop_at_first: bool
+    ) -> list[AttemptOutcome]:
+        runtime = RoundRuntime(
+            database=setup.database, space=setup.space, join_cache=setup.join_cache
+        )
+        # Warm once per live join instance (shared guard with the worker
+        # path); every attempt below then derives cached masks in O(|Δ|).
+        ensure_base_masks_warm(runtime.database, runtime.join_cache, setup.context)
+        outcomes: list[AttemptOutcome] = []
+        # The winner sink is only honoured in stop-at-first mode, where the
+        # first winning attempt ends the loop — an exhaustive sweep could
+        # find many winners and must not pin their databases.
+        winner_store = setup.winner_store if stop_at_first else None
+        for attempt_index, pairs in enumerate(attempts):
+            outcome = evaluate_attempt(
+                runtime, setup.context, attempt_index, pairs, winner_store
+            )
+            outcomes.append(outcome)
+            if stop_at_first and outcome.applied and outcome.distinguishes:
+                break
+        return outcomes
+
+
+# Worker-process globals, populated once per pool by the initializer. One
+# (context, runtime) pair is kept per round token; a new token evicts the
+# previous round's space so long sessions never accumulate per-round state
+# in workers.
+_WORKER_DATABASE: Database | None = None
+_WORKER_CACHE: JoinCache | None = None
+_WORKER_ROUNDS: dict[str, tuple[RoundContext, RoundRuntime]] = {}
+
+
+def _process_worker_initialize(payload: bytes) -> None:
+    """Rehydrate the broadcast base snapshot (runs once per worker process)."""
+    global _WORKER_DATABASE, _WORKER_CACHE
+    snapshot = BaseSnapshot.from_bytes(payload)
+    _WORKER_DATABASE, _WORKER_CACHE = snapshot.restore()
+    _WORKER_ROUNDS.clear()
+
+
+def _process_worker_run(
+    token: str, context_payload: bytes, unit: WorkUnit
+) -> tuple[AttemptOutcome, ...]:
+    """Score one work unit against the rehydrated snapshot (worker-side).
+
+    ``context_payload`` is the round context pre-pickled once by the driver;
+    a worker unpickles it only for the first unit of a round it sees and
+    reuses the cached context (and its built runtime) for every later unit
+    of the same token.
+    """
+    if _WORKER_DATABASE is None or _WORKER_CACHE is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker process was not initialized with a base snapshot")
+    cached = _WORKER_ROUNDS.get(token)
+    if cached is None:
+        context: RoundContext = pickle.loads(context_payload)
+        _WORKER_ROUNDS.clear()
+        runtime = build_round_runtime(_WORKER_DATABASE, _WORKER_CACHE, context)
+        _WORKER_ROUNDS[token] = (context, runtime)
+    else:
+        context, runtime = cached
+    return evaluate_work_unit(runtime, context, unit)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Shard attempt evaluation over a pool of snapshot-seeded processes.
+
+    The pool is created lazily on first use and re-created only when the base
+    snapshot changes (new base database, or a round referencing a join
+    signature the broadcast snapshot does not cover). Work units are
+    dispatched in waves; with ``stop_at_first`` no further wave is submitted
+    once a resolved prefix contains a winner, bounding speculative work to
+    one wave. Outcomes are merged by unit index, never by completion order.
+    """
+
+    name = "process-pool"
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        units_per_worker: int = 2,
+        mp_context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("ProcessPoolBackend needs at least 2 workers")
+        if units_per_worker < 1:
+            raise ValueError("units_per_worker must be at least 1")
+        self.workers = workers
+        self.units_per_worker = units_per_worker
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        self._snapshot: BaseSnapshot | None = None
+
+    # ------------------------------------------------------------------ pool
+    def _context(self) -> multiprocessing.context.BaseContext:
+        if self._mp_context is not None:
+            return self._mp_context
+        # fork is the cheap path (no re-import, snapshot bytes still pickled
+        # explicitly so behaviour matches spawn); fall back where unavailable.
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+    def _ensure_executor(self, setup: RoundSetup) -> ProcessPoolExecutor:
+        # Ask the provider every round: it memoizes planner-side and returns
+        # a *new* snapshot object exactly when the base state changed (new
+        # database, uncovered signature, or joins invalidated/rebuilt after
+        # an in-place mutation) — any of which must re-seed the pool, or the
+        # workers would keep evaluating against stale joins.
+        snapshot = setup.snapshot_provider()
+        signatures = required_signatures(setup.context)
+        if not snapshot.covers(signatures):  # pragma: no cover - defensive
+            raise ValueError(
+                "snapshot provider returned a snapshot that does not cover "
+                f"the round's join signatures {signatures}"
+            )
+        if self._executor is None or snapshot is not self._snapshot:
+            self.close()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._context(),
+                initializer=_process_worker_initialize,
+                initargs=(snapshot.to_bytes(),),
+            )
+            self._snapshot = snapshot
+        return self._executor
+
+    # ------------------------------------------------------------------- run
+    def run_attempts(
+        self, setup: RoundSetup, attempts: Sequence[Attempt], *, stop_at_first: bool
+    ) -> list[AttemptOutcome]:
+        if not attempts:
+            return []
+        executor = self._ensure_executor(setup)
+        if stop_at_first:
+            # Single-attempt units: early exit wastes at most one wave.
+            units = shard_attempts(attempts, len(attempts))
+            wave_size = self.workers
+        else:
+            units = shard_attempts(attempts, self.workers * self.units_per_worker)
+            wave_size = len(units)
+        token = setup.context.token
+        # The context is pickled once here but shipped with every task: the
+        # executor gives no control over which worker a task lands on, so
+        # each task must be self-contained (a worker that has not seen the
+        # round yet needs the context). Workers cache by token, so the cost
+        # is a few KB per submit of already-pickled bytes, not re-pickling.
+        context_payload = pickle.dumps(setup.context, protocol=pickle.HIGHEST_PROTOCOL)
+        outcomes_by_unit: dict[int, tuple[AttemptOutcome, ...]] = {}
+        position = 0
+        try:
+            while position < len(units):
+                wave = units[position : position + wave_size]
+                futures = [
+                    executor.submit(_process_worker_run, token, context_payload, unit)
+                    for unit in wave
+                ]
+                for unit, future in zip(wave, futures):
+                    outcomes_by_unit[unit.index] = future.result()
+                position += len(wave)
+                if stop_at_first and any(
+                    outcome.applied and outcome.distinguishes
+                    for resolved in outcomes_by_unit.values()
+                    for outcome in resolved
+                ):
+                    break
+        except BrokenProcessPool:
+            # A crashed worker (OOM kill, hard fault) permanently breaks the
+            # executor; drop it so the next round re-creates the pool
+            # instead of resubmitting to a dead one forever.
+            self.close()
+            raise
+        merged: list[AttemptOutcome] = []
+        for index in sorted(outcomes_by_unit):
+            merged.extend(outcomes_by_unit[index])
+        return merged
+
+    def close(self) -> None:
+        """Shut the pool down; the next round transparently re-creates it."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._snapshot = None
+
+
+def create_backend(workers: int | None) -> ExecutionBackend:
+    """The backend for a worker count: serial for ``0``/``1``, a pool otherwise."""
+    if workers is None or workers <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(workers)

@@ -21,7 +21,27 @@ from repro.relational.evaluator import JoinCache
 from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
 
-__all__ = ["QueryGroup", "QueryPartition", "partition_queries"]
+__all__ = [
+    "QueryGroup",
+    "QueryPartition",
+    "partition_queries",
+    "partition_from_batch",
+    "partition_signature",
+]
+
+
+def partition_signature(fingerprints: Sequence[object]) -> tuple[int, ...]:
+    """Canonical group ids induced by per-query result fingerprints.
+
+    Queries with equal fingerprints share a group id; ids are assigned by
+    first occurrence in query order, so the signature is a pure function of
+    the fingerprint sequence — two processes that evaluate the same candidate
+    modification produce the identical signature, which is what lets the
+    parallel round planner compare and merge worker results deterministically
+    without shipping the materialized result relations back.
+    """
+    ids: dict[object, int] = {}
+    return tuple(ids.setdefault(fingerprint, len(ids)) for fingerprint in fingerprints)
 
 
 @dataclass(frozen=True)
@@ -87,21 +107,31 @@ def partition_queries(
     batch = cache.evaluate_batch(
         queries, database, set_semantics=set_semantics, name=result_name
     )
-    buckets: dict[object, list[int]] = {}
-    results: dict[object, Relation] = {}
-    for index in range(len(queries)):
-        fingerprint = batch.fingerprints[index]
-        if fingerprint not in buckets:
-            buckets[fingerprint] = []
-            results[fingerprint] = batch.results[index]
-        buckets[fingerprint].append(index)
+    return partition_from_batch(queries, batch)
+
+
+def partition_from_batch(queries: Sequence[SPJQuery], batch) -> QueryPartition:
+    """Group *queries* by the fingerprints of an existing batch evaluation.
+
+    Exposed so a caller that already evaluated the batch (e.g. the round
+    planner scoring the winning attempt) can build the partition without
+    re-evaluating; :func:`partition_queries` is this plus the evaluation.
+    """
+    signature = partition_signature(batch.fingerprints)
+    buckets: dict[int, list[int]] = {}
+    results: dict[int, Relation] = {}
+    for index, group_id in enumerate(signature):
+        if group_id not in buckets:
+            buckets[group_id] = []
+            results[group_id] = batch.results[index]
+        buckets[group_id].append(index)
     groups = []
-    for fingerprint, indexes in buckets.items():
+    for group_id, indexes in buckets.items():
         groups.append(
             QueryGroup(
                 query_indexes=tuple(indexes),
                 queries=tuple(queries[i] for i in indexes),
-                result=results[fingerprint],
+                result=results[group_id],
             )
         )
     ordered = tuple(sorted(groups, key=lambda group: (-len(group), group.query_indexes)))

@@ -1,0 +1,421 @@
+"""The Round Planner: one QFE iteration's candidate-modification search.
+
+Each iteration of Algorithm 1 must produce a modified database ``D'`` that
+distinguishes the surviving candidate queries. The planner decomposes that
+round into three phases:
+
+1. **Prologue (driver).** Materialize/reuse the cached foreign-key join of
+   the referenced tables, build the tuple-class space, run Algorithm 3
+   (skyline enumeration) and Algorithm 4 (subset selection) over the shared
+   pair-set simulator, and lay out the deterministic *attempt sequence*: the
+   selected subset first, then every skyline pair singly in balance order —
+   exactly the fallback order the serial generator always used.
+2. **Candidate-modification search (execution backend).** Score attempts by
+   concrete materialization + delta-derived partitioning until one
+   distinguishes. The serial backend runs this in process; the process-pool
+   backend shards the attempts over workers that hold a delta-replicated
+   snapshot of the base state and return compact ``(pairs, partition
+   signature, cost)`` outcomes. Merging is by attempt index, so the winning
+   attempt — and therefore the whole session transcript — is bit-identical
+   for every backend and worker count.
+3. **Finalize (driver).** Re-materialize only the winning attempt locally
+   (materialization is deterministic, so this reproduces the exact database
+   the winning outcome scored), derive the cached join, and compute the full
+   partition with result relations for the feedback round.
+
+:class:`~repro.core.database_generator.DatabaseGenerator` remains the public
+Algorithm 2 entry point; it is now a thin shell over this planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Sequence
+
+from repro.core.config import QFEConfig
+from repro.core.cost_model import CostBreakdown
+from repro.core.execution_backend import (
+    Attempt,
+    AttemptOutcome,
+    ExecutionBackend,
+    RoundContext,
+    RoundSetup,
+    SerialBackend,
+    required_signatures,
+)
+from repro.core.materialize import MaterializationResult, materialize_pairs
+from repro.core.modification import ClassPair, PairSetSimulator
+from repro.core.partitioner import QueryPartition, partition_from_batch, partition_queries
+from repro.core.skyline import SkylineResult, skyline_stc_dtc_pairs
+from repro.core.subset_selection import ScoreFunction, SubsetSelectionResult, pick_stc_dtc_subset
+from repro.core.timing import Stopwatch
+from repro.core.tuple_class import TupleClassSpace
+from repro.exceptions import DatabaseGenerationError
+from repro.relational.database import Database
+from repro.relational.evaluator import BaseSnapshot, JoinCache
+from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
+
+__all__ = [
+    "DatabaseGenerationResult",
+    "RoundPlan",
+    "RoundPlanner",
+    "candidate_pair_attempts",
+]
+
+#: Process-wide source of unique round tokens (worker runtimes key on them).
+_ROUND_TOKENS = count()
+
+
+@dataclass
+class DatabaseGenerationResult:
+    """The modified database of one iteration plus all per-step diagnostics."""
+
+    database: Database
+    partition: QueryPartition
+    materialization: MaterializationResult
+    skyline: SkylineResult
+    selection: SubsetSelectionResult
+    chosen_pairs: tuple[ClassPair, ...]
+    chosen_cost: CostBreakdown | None
+    skyline_seconds: float
+    selection_seconds: float
+    materialize_seconds: float
+    fallback_attempts: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Combined Database Generator time for the iteration."""
+        return self.skyline_seconds + self.selection_seconds + self.materialize_seconds
+
+
+@dataclass
+class RoundPlan:
+    """The prologue's output: everything the search phase needs, plus diagnostics."""
+
+    context: RoundContext
+    original: Database
+    result: Relation
+    space: TupleClassSpace
+    simulator: PairSetSimulator
+    skyline: SkylineResult
+    selection: SubsetSelectionResult
+    attempts: tuple[Attempt, ...]
+    skyline_seconds: float
+    selection_seconds: float
+
+    @property
+    def attempt_count(self) -> int:
+        """How many candidate modifications the search phase may score."""
+        return len(self.attempts)
+
+
+def candidate_pair_attempts(
+    space: TupleClassSpace, *, max_pairs: int | None = None
+) -> tuple[Attempt, ...]:
+    """The (STC, DTC) candidate space as single-pair attempts, enumeration order.
+
+    Follows Algorithm 3's deterministic order exactly — ascending edit cost,
+    then sorted source classes, then destination choices — optionally capped
+    at *max_pairs* (the space grows combinatorially with the number of
+    selection attributes, so unbounded concrete scoring is rarely feasible).
+    This is the round planner's heavy sweep workload: Algorithm 3 only ever
+    scores these pairs through the tuple-class *abstraction*; scoring a
+    bounded prefix concretely (exact materialization + exact partition) is
+    what the process-parallel backend makes affordable.
+    """
+    attempts: list[Attempt] = []
+    source_classes = space.source_tuple_classes()
+    for modified_slots in range(1, space.attribute_count + 1):
+        for source in source_classes:
+            for destination in space.destination_classes(source, modified_slots):
+                attempts.append((ClassPair(source, destination),))
+                if max_pairs is not None and len(attempts) >= max_pairs:
+                    return tuple(attempts)
+    return tuple(attempts)
+
+
+class RoundPlanner:
+    """Plan one feedback round over a pluggable execution backend.
+
+    The planner owns the session-wide join cache (base joins and their term
+    masks stay warm across rounds) and, for parallel backends, the memoized
+    :class:`BaseSnapshot` broadcast to workers — captured once per base
+    database and re-captured only if a later round references a join
+    signature the snapshot does not cover (candidate replenishment never
+    changes table sets in practice, so this is a cold-path guard).
+    """
+
+    def __init__(
+        self,
+        config: QFEConfig | None = None,
+        *,
+        score: ScoreFunction | None = None,
+        join_cache: JoinCache | None = None,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
+        self.config = config or QFEConfig()
+        self.score = score
+        self.join_cache = join_cache if join_cache is not None else JoinCache()
+        self.backend = backend if backend is not None else SerialBackend()
+        self._snapshot: BaseSnapshot | None = None
+
+    def close(self) -> None:
+        """Release backend resources (worker pools); the planner stays usable."""
+        self.backend.close()
+
+    # ------------------------------------------------------------- snapshotting
+    def _snapshot_is_current(
+        self, snapshot: BaseSnapshot | None, database: Database, signatures
+    ) -> bool:
+        if snapshot is None or snapshot.database is not database:
+            return False
+        if not snapshot.covers(signatures):
+            return False
+        # The snapshot must hold the *same join objects* the driver cache
+        # currently serves: if the caller mutated the base in place and
+        # honoured the cache contract (``join_cache.invalidate``), the cache
+        # rebuilt fresh joins and the memoized snapshot's joins are stale —
+        # identity comparison catches exactly that and forces a re-capture
+        # (and, downstream, a re-broadcast to the worker pool).
+        return all(
+            self.join_cache.join_for(database, signature)
+            is snapshot.joins[BaseSnapshot._key(signature)]
+            for signature in signatures
+        )
+
+    def _snapshot_for(
+        self, database: Database, signatures: Sequence[tuple[str, ...]]
+    ) -> BaseSnapshot:
+        if not self._snapshot_is_current(self._snapshot, database, signatures):
+            self._snapshot = BaseSnapshot.capture(
+                database, signatures, join_cache=self.join_cache
+            )
+        return self._snapshot
+
+    # ---------------------------------------------------------------- prologue
+    def prepare_round(
+        self,
+        original: Database,
+        result: Relation,
+        queries: Sequence[SPJQuery],
+    ) -> RoundPlan:
+        """Run the driver-side prologue and lay out the attempt sequence."""
+        if len(queries) < 2:
+            raise DatabaseGenerationError("need at least two candidate queries to distinguish")
+        config = self.config
+        queries = tuple(queries)
+
+        # Join only the relations the candidates actually reference (Section 5
+        # assumes a shared join schema; this also keeps databases with
+        # unrelated extra tables usable).
+        referenced = tuple(sorted({table for query in queries for table in query.tables}))
+        try:
+            joined = self.join_cache.join_for(original, referenced)
+            # Pre-warm the per-query signatures too: partitioning (driver- or
+            # worker-side) groups candidates by their own join signature, and
+            # a warm base entry is what keeps every candidate evaluation on
+            # the O(|Δ|) delta-derived path.
+            for query in queries:
+                self.join_cache.join_for(original, query.join_signature)
+        except DatabaseGenerationError:
+            raise
+        except Exception as exc:
+            raise DatabaseGenerationError(
+                f"cannot materialize the join of {list(referenced)}: {exc}"
+            ) from exc
+        space = TupleClassSpace(joined, queries)
+        if space.attribute_count == 0:
+            raise DatabaseGenerationError(
+                "candidate queries have no selection predicates to distinguish"
+            )
+        result_arity = result.schema.arity
+        simulator = PairSetSimulator(space, result_arity=result_arity)
+
+        watch = Stopwatch()
+        skyline = skyline_stc_dtc_pairs(
+            space, config, result_arity=result_arity, simulator=simulator
+        )
+        skyline_seconds = watch.restart()
+        if not skyline.pairs:
+            raise DatabaseGenerationError("Algorithm 3 found no distinguishing tuple-class pairs")
+
+        selection = pick_stc_dtc_subset(
+            space,
+            skyline.pairs,
+            config,
+            result_arity=result_arity,
+            most_balanced_binary_x=skyline.most_balanced_binary_x,
+            score=self.score,
+            simulator=simulator,
+        )
+        selection_seconds = watch.restart()
+        if not selection.found:
+            raise DatabaseGenerationError("Algorithm 4 found no distinguishing pair subset")
+
+        # Attempt sequence: the chosen subset first; if the concrete database
+        # fails to split the candidates (side effects, value collisions), fall
+        # back to the skyline pairs singly, ordered by single-pair balance.
+        attempts: list[Attempt] = [tuple(selection.chosen_pairs)]
+        attempts.extend(
+            (pair,)
+            for pair in skyline.singles_ordered_by_balance()
+            if (pair,) != selection.chosen_pairs
+        )
+
+        context = RoundContext(
+            token=f"round-{next(_ROUND_TOKENS)}",
+            queries=queries,
+            config=config,
+            referenced=referenced,
+            result_name=result.schema.name,
+        )
+        return RoundPlan(
+            context=context,
+            original=original,
+            result=result,
+            space=space,
+            simulator=simulator,
+            skyline=skyline,
+            selection=selection,
+            attempts=tuple(attempts),
+            skyline_seconds=skyline_seconds,
+            selection_seconds=selection_seconds,
+        )
+
+    # ------------------------------------------------------------------ search
+    def execute(
+        self,
+        plan: RoundPlan,
+        *,
+        attempts: Sequence[Attempt] | None = None,
+        stop_at_first: bool = True,
+        backend: ExecutionBackend | None = None,
+        winner_store: dict | None = None,
+    ) -> list[AttemptOutcome]:
+        """Score the plan's attempts (or an explicit attempt sequence) on a backend."""
+        active = backend if backend is not None else self.backend
+        setup = RoundSetup(
+            context=plan.context,
+            database=plan.original,
+            space=plan.space,
+            join_cache=self.join_cache,
+            snapshot_provider=lambda: self._snapshot_for(
+                plan.original, required_signatures(plan.context)
+            ),
+            winner_store=winner_store,
+        )
+        chosen = plan.attempts if attempts is None else tuple(attempts)
+        return active.run_attempts(setup, chosen, stop_at_first=stop_at_first)
+
+    def score_candidates(
+        self,
+        original: Database,
+        result: Relation,
+        queries: Sequence[SPJQuery],
+    ) -> list[AttemptOutcome]:
+        """Exhaustively score every fallback attempt of one round.
+
+        Unlike :meth:`plan_round` this never stops early — it is a
+        diagnostic: the exact concrete effect of the Algorithm 4 subset and
+        every skyline single, serially or fanned out.
+        """
+        plan = self.prepare_round(original, result, queries)
+        return self.execute(plan, stop_at_first=False)
+
+    def score_candidate_space(
+        self,
+        original: Database,
+        result: Relation,
+        queries: Sequence[SPJQuery],
+        *,
+        max_pairs: int | None = 192,
+    ) -> list[AttemptOutcome]:
+        """Concretely score a bounded prefix of the full (STC, DTC) space.
+
+        Algorithm 3 enumerates thousands of class pairs per round but only
+        scores them through the tuple-class abstraction; this sweep
+        materializes each of the first *max_pairs* pairs for real and
+        computes its exact partition signature — the workload the
+        ``round-planner`` benchmark group measures serial vs process-pool.
+        """
+        plan = self.prepare_round(original, result, queries)
+        attempts = candidate_pair_attempts(plan.space, max_pairs=max_pairs)
+        return self.execute(plan, attempts=attempts, stop_at_first=False)
+
+    # ---------------------------------------------------------------- finalize
+    def plan_round(
+        self,
+        original: Database,
+        result: Relation,
+        queries: Sequence[SPJQuery],
+    ) -> DatabaseGenerationResult:
+        """Produce ``D'`` distinguishing *queries*; raises if no modification helps."""
+        plan = self.prepare_round(original, result, queries)
+        watch = Stopwatch()
+        winner_store: dict = {}
+        outcomes = self.execute(plan, stop_at_first=True, winner_store=winner_store)
+        winner: AttemptOutcome | None = None
+        for outcome in outcomes:
+            if outcome.applied and outcome.distinguishes:
+                winner = outcome
+                break
+        if winner is None:
+            last_error = "no class pair could be materialized"
+            if outcomes and outcomes[-1].applied:
+                last_error = "materialized database did not distinguish any candidates"
+            raise DatabaseGenerationError(
+                f"could not generate a distinguishing database: {last_error} "
+                f"after {len(outcomes)} attempts"
+            )
+
+        # An in-process backend deposits the winning materialization and its
+        # batch evaluation (with the derived cache entry still registered)
+        # so the winner is built and evaluated exactly once. A remote
+        # backend only ships compact outcomes, so the winner is
+        # re-materialized here — materialization is a deterministic function
+        # of (space, pairs, config), so this reproduces exactly the database
+        # the winning outcome scored.
+        materialization = batch = None
+        if winner_store.get("attempt_index") == winner.attempt_index:
+            materialization = winner_store.get("materialization")
+            batch = winner_store.get("batch")
+        if materialization is None:
+            materialization = materialize_pairs(plan.space, winner.pairs, original, self.config)
+            if materialization.delta.is_update_only and not materialization.delta.is_empty:
+                self.join_cache.derive(original, materialization.delta, materialization.database)
+        if batch is not None:
+            partition = partition_from_batch(plan.context.queries, batch)
+        else:
+            partition = partition_queries(
+                plan.context.queries,
+                materialization.database,
+                set_semantics=self.config.set_semantics,
+                result_name=plan.context.result_name,
+                join_cache=self.join_cache,
+            )
+        if not partition.distinguishes:  # pragma: no cover - determinism guard
+            raise DatabaseGenerationError(
+                "winning attempt no longer distinguishes on re-materialization; "
+                "attempt evaluation is expected to be deterministic"
+            )
+        materialize_seconds = watch.elapsed()
+        chosen_pairs = tuple(winner.pairs)
+        return DatabaseGenerationResult(
+            database=materialization.database,
+            partition=partition,
+            materialization=materialization,
+            skyline=plan.skyline,
+            selection=plan.selection,
+            chosen_pairs=chosen_pairs,
+            chosen_cost=(
+                plan.selection.chosen_cost
+                if chosen_pairs == plan.selection.chosen_pairs
+                else None
+            ),
+            skyline_seconds=plan.skyline_seconds,
+            selection_seconds=plan.selection_seconds,
+            materialize_seconds=materialize_seconds,
+            fallback_attempts=winner.attempt_index,
+        )

@@ -19,11 +19,11 @@ the finer-grained timings behind Tables 4 and 7.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Sequence
 
 from repro.core.config import QFEConfig
 from repro.core.database_generator import DatabaseGenerationResult, DatabaseGenerator
+from repro.core.timing import Stopwatch
 from repro.core.feedback import NONE_OF_THE_ABOVE, FeedbackRound, ResultSelector, build_feedback_round
 from repro.core.partitioner import QueryPartition
 from repro.core.subset_selection import ScoreFunction
@@ -91,7 +91,12 @@ class SessionResult:
 
     @property
     def total_seconds(self) -> float:
-        """Query generation plus all per-iteration execution time."""
+        """Query generation plus all per-iteration execution time.
+
+        Every summand is measured on the monotonic clock
+        (:mod:`repro.core.timing`), never the wall clock — wall-clock skew
+        would corrupt the total once rounds fan out across worker processes.
+        """
         return self.query_generation_seconds + sum(r.execution_seconds for r in self.iterations)
 
     @property
@@ -122,6 +127,7 @@ class QFESession:
         config: QFEConfig | None = None,
         qbo_config: QBOConfig | None = None,
         score: ScoreFunction | None = None,
+        workers: int | None = None,
     ) -> None:
         self.database = database
         self.result = result
@@ -136,7 +142,15 @@ class QFESession:
         # (``JoinCache.derive``), so no iteration after the first pays a cold
         # join or term-mask build. The session never mutates ``self.database``.
         self.join_cache = JoinCache()
-        self._generator = DatabaseGenerator(self.config, score=score, join_cache=self.join_cache)
+        # How many processes the round planner's candidate-modification
+        # search fans out over: the explicit argument wins, then the config
+        # field; 0/1 select the serial in-process backend. The worker pool
+        # (when any) is seeded once with a snapshot of ``self.database`` and
+        # released at the end of each run().
+        self.workers = self.config.workers if workers is None else workers
+        self._generator = DatabaseGenerator(
+            self.config, score=score, join_cache=self.join_cache, workers=self.workers
+        )
         self.last_rounds: list[FeedbackRound] = []
 
     # -------------------------------------------------------------- candidates
@@ -144,12 +158,12 @@ class QFESession:
         if self._provided_candidates is not None:
             session.query_generation_seconds = 0.0
             return list(self._provided_candidates)
-        started = perf_counter()
+        watch = Stopwatch()
         generator = QueryGenerator(self.qbo_config)
         candidates = generator.generate(
             self.database, self.result, set_semantics=self.config.set_semantics
         )
-        session.query_generation_seconds = perf_counter() - started
+        session.query_generation_seconds = watch.elapsed()
         return candidates
 
     def _replenish_candidates(self, current: list[SPJQuery]) -> list[SPJQuery]:
@@ -175,47 +189,52 @@ class QFESession:
         self.last_rounds = []
 
         iteration = 0
-        while len(candidates) > 1 and iteration < self.config.max_iterations:
-            iteration += 1
-            iteration_started = perf_counter()
-            try:
-                generation = self._generator.generate(self.database, self.result, candidates)
-            except DatabaseGenerationError:
-                # The remaining candidates cannot be distinguished by any
-                # modification within budget; report them all.
-                session.exhausted = True
-                break
+        try:
+            while len(candidates) > 1 and iteration < self.config.max_iterations:
+                iteration += 1
+                iteration_watch = Stopwatch()
+                try:
+                    generation = self._generator.generate(self.database, self.result, candidates)
+                except DatabaseGenerationError:
+                    # The remaining candidates cannot be distinguished by any
+                    # modification within budget; report them all.
+                    session.exhausted = True
+                    break
 
-            round_ = build_feedback_round(
-                iteration, self.database, self.result, generation.database, generation.partition
-            )
-            self.last_rounds.append(round_)
-            # The round's presentation data (results, deltas) is fully
-            # materialized; release D' from the join cache so a session that
-            # keeps every round alive does not also pin one derived join per
-            # iteration. The base entry stays warm for the next round.
-            self.join_cache.invalidate(generation.database)
-            execution_seconds = perf_counter() - iteration_started
-            choice = selector.select(round_, generation.partition)
+                round_ = build_feedback_round(
+                    iteration, self.database, self.result, generation.database, generation.partition
+                )
+                self.last_rounds.append(round_)
+                # The round's presentation data (results, deltas) is fully
+                # materialized; release D' from the join cache so a session that
+                # keeps every round alive does not also pin one derived join per
+                # iteration. The base entry stays warm for the next round.
+                self.join_cache.invalidate(generation.database)
+                execution_seconds = iteration_watch.elapsed()
+                choice = selector.select(round_, generation.partition)
 
-            if choice == NONE_OF_THE_ABOVE:
-                replenished = self._replenish_candidates(candidates)
-                if len(replenished) == len(candidates):
-                    raise FeedbackError(
-                        "user rejected every presented result and no further candidate "
-                        "queries could be generated"
-                    )
-                candidates = replenished
-                continue
-            if not 0 <= choice < generation.partition.group_count:
-                raise FeedbackError(f"selector returned invalid option index {choice}")
+                if choice == NONE_OF_THE_ABOVE:
+                    replenished = self._replenish_candidates(candidates)
+                    if len(replenished) == len(candidates):
+                        raise FeedbackError(
+                            "user rejected every presented result and no further candidate "
+                            "queries could be generated"
+                        )
+                    candidates = replenished
+                    continue
+                if not 0 <= choice < generation.partition.group_count:
+                    raise FeedbackError(f"selector returned invalid option index {choice}")
 
-            chosen_group = generation.partition.groups[choice]
-            record = self._record_iteration(
-                iteration, candidates, generation, choice, chosen_group.queries, execution_seconds
-            )
-            session.iterations.append(record)
-            candidates = list(chosen_group.queries)
+                chosen_group = generation.partition.groups[choice]
+                record = self._record_iteration(
+                    iteration, candidates, generation, choice, chosen_group.queries, execution_seconds
+                )
+                session.iterations.append(record)
+                candidates = list(chosen_group.queries)
+        finally:
+            # Release the worker pool (if any); the serial backend is a no-op
+            # and a later run() transparently re-creates the pool.
+            self._generator.close()
 
         session.remaining_queries = tuple(candidates)
         if len(candidates) == 1:

@@ -45,6 +45,20 @@ class SkylineResult:
         """Number of skyline pairs returned (the |SP| of Tables 1 and 4)."""
         return len(self.pairs)
 
+    def singles_ordered_by_balance(self) -> list[ClassPair]:
+        """Skyline pairs in the deterministic fallback order of the round planner.
+
+        Ordered by (single-pair balance, textual representation): the order in
+        which single-pair materialization attempts are tried when the chosen
+        subset fails to distinguish concretely. The round planner shards this
+        exact sequence into work units, so the order also fixes the merge
+        order that keeps parallel and serial planning bit-identical.
+        """
+        return sorted(
+            self.pairs,
+            key=lambda pair: (self.pair_balances.get(pair, float("inf")), str(pair)),
+        )
+
 
 def skyline_stc_dtc_pairs(
     space: TupleClassSpace,

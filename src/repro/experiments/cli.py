@@ -13,8 +13,10 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
+from repro.core.config import nonnegative_int
 from repro.experiments import studies, tables
 from repro.experiments.report import ExperimentTable, render_tables
+from repro.experiments.runner import set_default_workers
 
 __all__ = ["main", "build_parser"]
 
@@ -62,6 +64,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the rendered tables to this file instead of stdout",
     )
+    parser.add_argument(
+        "--workers",
+        type=nonnegative_int,
+        default=None,
+        help="worker processes for every session's round-planner search "
+             "(0/1 = serial; omit to defer to each session's config; "
+             "regenerated numbers are identical at any count)",
+    )
     return parser
 
 
@@ -75,12 +85,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
 
-    if args.experiment == "all":
-        produced: list[ExperimentTable] = []
-        for name in sorted(_EXPERIMENTS):
-            produced.extend(_EXPERIMENTS[name](args.scale))
-    else:
-        produced = _EXPERIMENTS[args.experiment](args.scale)
+    # When given, install the worker count process-wide so every table/study
+    # session's round planner picks it up; restore afterwards (library
+    # callers of main() must not inherit the CLI's setting). When omitted,
+    # each session's own config decides.
+    previous_workers = set_default_workers(args.workers) if args.workers is not None else None
+    try:
+        if args.experiment == "all":
+            produced: list[ExperimentTable] = []
+            for name in sorted(_EXPERIMENTS):
+                produced.extend(_EXPERIMENTS[name](args.scale))
+        else:
+            produced = _EXPERIMENTS[args.experiment](args.scale)
+    finally:
+        if args.workers is not None:
+            set_default_workers(previous_workers)
 
     text = render_tables(produced)
     if args.output:

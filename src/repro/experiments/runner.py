@@ -11,13 +11,13 @@ configuration, and return the per-iteration records plus aggregate figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Literal, Sequence
 
 from repro.core.config import QFEConfig
 from repro.core.feedback import OracleSelector, ResultSelector, WorstCaseSelector
 from repro.core.session import IterationRecord, QFESession, SessionResult
 from repro.core.subset_selection import ScoreFunction
+from repro.core.timing import Stopwatch
 from repro.exceptions import NoCandidateQueriesError
 from repro.experiments.simulated_user import SimulatedUser
 from repro.qbo.config import QBOConfig
@@ -28,11 +28,33 @@ from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
 from repro.workloads import build_pair
 
-__all__ = ["ExperimentRun", "prepare_candidates", "run_workload", "run_session"]
+__all__ = [
+    "ExperimentRun",
+    "prepare_candidates",
+    "run_workload",
+    "run_session",
+    "set_default_workers",
+]
 
 FeedbackMode = Literal["worst", "oracle"]
 
 _DEFAULT_QBO = QBOConfig(threshold_variants=2, max_terms_per_conjunct=3, max_candidates=60)
+
+#: Process-wide default for the round planner's worker count. ``None`` defers
+#: to each session's config; the experiments CLI sets it from ``--workers`` so
+#: every table/study regeneration fans out without threading a parameter
+#: through every table function.
+_DEFAULT_WORKERS: int | None = None
+
+
+def set_default_workers(workers: int | None) -> int | None:
+    """Set the process-wide default worker count; returns the previous value."""
+    global _DEFAULT_WORKERS
+    if workers is not None and workers < 0:
+        raise ValueError("workers must be non-negative")
+    previous = _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = workers
+    return previous
 
 
 @dataclass
@@ -86,7 +108,7 @@ def prepare_candidates(
     ``candidate_count`` is given the list is truncated or expanded (by
     constant mutation, Section 7.6's device) to that size.
     """
-    started = perf_counter()
+    watch = Stopwatch()
     generator = QueryGenerator(qbo_config or _DEFAULT_QBO)
     try:
         candidates = generator.generate(database, result)
@@ -109,7 +131,7 @@ def prepare_candidates(
             candidates = kept
         elif len(candidates) < candidate_count:
             candidates = expand_candidate_set(database, result, candidates, candidate_count)
-    elapsed = perf_counter() - started
+    elapsed = watch.elapsed()
     return candidates, elapsed
 
 
@@ -135,9 +157,17 @@ def run_session(
     score: ScoreFunction | None = None,
     workload_name: str = "custom",
     scale: float = 1.0,
+    workers: int | None = None,
 ) -> ExperimentRun:
-    """Run one QFE session over an explicit ``(D, R, target)`` triple."""
+    """Run one QFE session over an explicit ``(D, R, target)`` triple.
+
+    ``workers`` selects the round planner's execution backend (0/1 serial,
+    ≥2 a process pool); when omitted, the process-wide default installed by
+    :func:`set_default_workers` applies, then the config's ``workers`` field.
+    """
     config = config or QFEConfig()
+    if workers is None:
+        workers = _DEFAULT_WORKERS
     if candidates is None:
         candidate_list, generation_seconds = prepare_candidates(
             database,
@@ -149,7 +179,9 @@ def run_session(
     else:
         candidate_list, generation_seconds = list(candidates), 0.0
     chosen_selector = selector if selector is not None else _selector_for(feedback, target)
-    session = QFESession(database, result, candidates=candidate_list, config=config, score=score)
+    session = QFESession(
+        database, result, candidates=candidate_list, config=config, score=score, workers=workers
+    )
     outcome = session.run(chosen_selector)
     simulated = chosen_selector if isinstance(chosen_selector, SimulatedUser) else None
     return ExperimentRun(
@@ -174,6 +206,7 @@ def run_workload(
     feedback: FeedbackMode = "worst",
     selector: ResultSelector | None = None,
     score: ScoreFunction | None = None,
+    workers: int | None = None,
 ) -> ExperimentRun:
     """Run one QFE session over a named paper workload (``Q1``…``Q6``, ``U1``…``U3``)."""
     database, result, target = build_pair(name, scale)
@@ -189,5 +222,6 @@ def run_workload(
         score=score,
         workload_name=name,
         scale=scale,
+        workers=workers,
     )
     return run

@@ -367,6 +367,35 @@ class ColumnarView:
             view._term_tests[key] = test
         return view
 
+    # ----------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Picklable state: the immutable columns, without the mask caches.
+
+        Compiled term tests are closures and cannot cross a process boundary,
+        and a term-mask entry without its retained test would silently break
+        :meth:`derive` (the entry would exist but could never be patched), so
+        both caches are dropped together. A rehydrated view is a *cold* view
+        over the same columns; its masks rebuild lazily — which is why the
+        parallel round planner warms the base view once per worker before
+        evaluating any delta-derived candidate against it.
+        """
+        return {
+            "names": self.names,
+            "row_count": self.row_count,
+            "_index": self._index,
+            "_columns": self._columns,
+            "_all_rows_mask": self._all_rows_mask,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.names = state["names"]
+        self.row_count = state["row_count"]
+        self._index = state["_index"]
+        self._columns = state["_columns"]
+        self._all_rows_mask = state["_all_rows_mask"]
+        self._term_masks = {}
+        self._term_tests = {}
+
     def __len__(self) -> int:
         return self.row_count
 

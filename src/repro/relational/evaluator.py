@@ -25,6 +25,7 @@ Section 5 assumption; ``distinct=True`` on a query switches to set semantics
 
 from __future__ import annotations
 
+import pickle
 import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
@@ -49,6 +50,7 @@ __all__ = [
     "result_schema",
     "results_equal",
     "result_fingerprint",
+    "BaseSnapshot",
     "JoinCache",
 ]
 
@@ -296,6 +298,90 @@ def _sort_key(value: Any) -> tuple:
     return (3, str(value))
 
 
+@dataclass
+class BaseSnapshot:
+    """A picklable snapshot of a base database and its materialized joins.
+
+    The parallel round planner captures the session's base database ``D``
+    — plus the foreign-key join (and provenance) of every join signature the
+    surviving candidates reference — exactly once, ships the pickled snapshot
+    to each worker process, and every worker :meth:`restore`\\ s it into a
+    private :class:`JoinCache` seeded with the same join objects the driver
+    holds. Workers then evaluate candidate modifications purely by applying
+    :class:`~repro.relational.delta.TupleDelta`\\ s against the seeded joins
+    (:meth:`JoinCache.derive`), so no worker ever performs a full
+    :func:`foreign_key_join` — a property pinned by
+    :data:`~repro.relational.join.JOIN_STATS`.
+
+    Pickling drops every non-picklable memo along the way (compiled term
+    tests, cached term masks, join indexes are rebuilt on rehydration — see
+    ``JoinedRelation.__getstate__`` and ``ColumnarView.__getstate__``), so a
+    snapshot round-trips through ``pickle`` by construction.
+    """
+
+    database: Database
+    joins: dict[tuple[str, ...], JoinedRelation]
+
+    @staticmethod
+    def _key(tables: Iterable[str]) -> tuple[str, ...]:
+        return tuple(sorted(tables))
+
+    @classmethod
+    def capture(
+        cls,
+        database: Database,
+        signatures: Iterable[Iterable[str]],
+        *,
+        join_cache: "JoinCache | None" = None,
+    ) -> "BaseSnapshot":
+        """Snapshot *database* with the joins for every given table signature.
+
+        Joins come from *join_cache* when given (warm driver-side entries are
+        reused, cold ones are built and cached for the driver too), otherwise
+        from a throwaway cache.
+        """
+        cache = join_cache if join_cache is not None else JoinCache()
+        joins: dict[tuple[str, ...], JoinedRelation] = {}
+        for signature in signatures:
+            key = cls._key(signature)
+            if key and key not in joins:
+                joins[key] = cache.join_for(database, key)
+        return cls(database=database, joins=joins)
+
+    @property
+    def signatures(self) -> tuple[tuple[str, ...], ...]:
+        """The join signatures the snapshot covers, deterministically ordered."""
+        return tuple(sorted(self.joins))
+
+    def covers(self, signatures: Iterable[Iterable[str]]) -> bool:
+        """Whether every given signature has a snapshotted join."""
+        return all(self._key(signature) in self.joins for signature in signatures)
+
+    def restore(self) -> tuple[Database, "JoinCache"]:
+        """Seed a fresh :class:`JoinCache` with the snapshotted joins.
+
+        Returns the (worker-local, post-unpickling) database instance and the
+        seeded cache; serving any snapshotted signature — or deriving a
+        modified database from it — performs zero full joins.
+        """
+        cache = JoinCache()
+        for signature, joined in self.joins.items():
+            cache.adopt(self.database, signature, joined)
+        return self.database, cache
+
+    def to_bytes(self) -> bytes:
+        """Pickle the snapshot (the payload broadcast to worker processes)."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "BaseSnapshot":
+        """Unpickle a snapshot previously produced by :meth:`to_bytes`."""
+        snapshot = pickle.loads(payload)
+        if not isinstance(snapshot, cls):
+            raise TypeError(f"payload does not contain a {cls.__name__}")
+        return snapshot
+
+
 class JoinCache:
     """Caches materialized joins — and their columnar views — per database.
 
@@ -345,6 +431,18 @@ class JoinCache:
             self._cache[key] = self._build_entry(database, tables)
             self._watch(database)
         return self._cache[key]
+
+    def adopt(self, database: Database, tables: Iterable[str], joined: JoinedRelation) -> None:
+        """Seed the cache with an externally materialized join for *database*.
+
+        Used when rehydrating a :class:`BaseSnapshot` in a worker process:
+        the snapshotted join is installed directly under its signature, so a
+        later :meth:`join_for` (or a delta derivation hanging off it) never
+        pays a full join. The usual finalizer-based eviction applies.
+        """
+        key = (id(database), tuple(sorted(tables)))
+        self._cache[key] = joined
+        self._watch(database)
 
     def _build_entry(self, database: Database, tables: Iterable[str]) -> JoinedRelation:
         link = self._links.get(id(database))

@@ -1,0 +1,340 @@
+"""Unit tests for the RoundPlanner and its execution backends.
+
+The serial backend is the differential oracle: the process-pool backend must
+produce bit-identical attempt outcomes for any worker count and sharding, and
+its workers must never perform a full join (the delta-only worker protocol).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.config import QFEConfig
+from repro.core.database_generator import DatabaseGenerator
+from repro.core.execution_backend import (
+    ProcessPoolBackend,
+    SerialBackend,
+    attempt_seed,
+    create_backend,
+    required_signatures,
+    shard_attempts,
+)
+from repro.core.modification import ClassPair
+from repro.core.round_planner import RoundPlanner, candidate_pair_attempts
+from repro.core.tuple_class import TupleClass
+from repro.exceptions import DatabaseGenerationError
+from repro.relational.evaluator import BaseSnapshot, JoinCache
+from repro.relational.join import JOIN_STATS
+
+
+def _outcome_key(outcomes):
+    return [
+        (o.attempt_index, o.pairs, o.applied, o.distinguishes, o.signature,
+         o.group_sizes, o.modification_count, o.modified_tuple_count,
+         o.modified_relation_count, o.db_cost)
+        for o in outcomes
+    ]
+
+
+@pytest.fixture(scope="module")
+def process_backend():
+    backend = ProcessPoolBackend(2)
+    yield backend
+    backend.close()
+
+
+# ----------------------------------------------------------------- sharding
+class TestSharding:
+    def _attempts(self, count):
+        return [
+            (ClassPair(TupleClass((i,)), TupleClass((i + 1,))),) for i in range(count)
+        ]
+
+    def test_units_are_contiguous_and_cover_all_attempts(self):
+        attempts = self._attempts(10)
+        units = shard_attempts(attempts, 3)
+        assert [len(u) for u in units] == [4, 3, 3]
+        flattened = [a for unit in units for a in unit.attempts]
+        assert flattened == attempts
+        assert [u.start for u in units] == [0, 4, 7]
+
+    def test_unit_count_is_clamped(self):
+        attempts = self._attempts(2)
+        assert len(shard_attempts(attempts, 8)) == 2
+        assert len(shard_attempts(attempts, 0)) == 1
+        assert shard_attempts([], 4) == []
+
+    def test_units_pickle(self):
+        unit = shard_attempts(self._attempts(3), 1)[0]
+        assert pickle.loads(pickle.dumps(unit)) == unit
+
+    def test_attempt_seed_is_deterministic_and_sharding_invariant(self):
+        # The seed depends only on (round token, absolute attempt index) —
+        # never on the work-unit layout — so a stochastic scorer seeded from
+        # it behaves identically at any worker count.
+        assert attempt_seed("round-1", 5) == attempt_seed("round-1", 5)
+        assert attempt_seed("round-1", 5) != attempt_seed("round-1", 6)
+        assert attempt_seed("round-1", 5) != attempt_seed("round-2", 5)
+
+
+# ----------------------------------------------------------------- snapshots
+class TestBaseSnapshot:
+    def test_restore_serves_joins_without_full_joins(self, employee_db):
+        cache = JoinCache()
+        signature = tuple(employee_db.table_names)
+        snapshot = BaseSnapshot.capture(employee_db, [signature], join_cache=cache)
+        restored = BaseSnapshot.from_bytes(snapshot.to_bytes())
+        JOIN_STATS.reset()
+        database, seeded = restored.restore()
+        joined = seeded.join_for(database, signature)
+        assert JOIN_STATS.full_joins == 0
+        assert len(joined) == len(cache.join_for(employee_db, signature))
+
+    def test_covers(self, employee_db):
+        signature = tuple(employee_db.table_names)
+        snapshot = BaseSnapshot.capture(employee_db, [signature])
+        assert snapshot.covers([signature])
+        assert not snapshot.covers([signature + ("Missing",)])
+
+
+# ------------------------------------------------------------------ planning
+class TestRoundPlanner:
+    def test_plan_round_matches_database_generator(
+        self, employee_db, employee_result, employee_candidates
+    ):
+        planner = RoundPlanner(QFEConfig())
+        generation = planner.plan_round(employee_db, employee_result, employee_candidates)
+        reference = DatabaseGenerator(QFEConfig()).generate(
+            employee_db, employee_result, employee_candidates
+        )
+        assert generation.chosen_pairs == reference.chosen_pairs
+        assert generation.fallback_attempts == reference.fallback_attempts
+        assert [g.query_indexes for g in generation.partition.groups] == [
+            g.query_indexes for g in reference.partition.groups
+        ]
+        for ours, theirs in zip(generation.partition.groups, reference.partition.groups):
+            assert ours.result.bag_equal(theirs.result)
+
+    def test_prepare_round_attempt_sequence(
+        self, employee_db, employee_result, employee_candidates
+    ):
+        planner = RoundPlanner(QFEConfig())
+        plan = planner.prepare_round(employee_db, employee_result, employee_candidates)
+        assert plan.attempts[0] == tuple(plan.selection.chosen_pairs)
+        singles = plan.skyline.singles_ordered_by_balance()
+        expected_tail = [(p,) for p in singles if (p,) != plan.selection.chosen_pairs]
+        assert list(plan.attempts[1:]) == expected_tail
+
+    def test_too_few_candidates_raise(self, employee_db, employee_result, employee_candidates):
+        with pytest.raises(DatabaseGenerationError):
+            RoundPlanner(QFEConfig()).plan_round(
+                employee_db, employee_result, employee_candidates[:1]
+            )
+
+    def test_candidate_pair_attempts_cap_and_order(
+        self, employee_db, employee_result, employee_candidates
+    ):
+        planner = RoundPlanner(QFEConfig())
+        plan = planner.prepare_round(employee_db, employee_result, employee_candidates)
+        full = candidate_pair_attempts(plan.space)
+        capped = candidate_pair_attempts(plan.space, max_pairs=3)
+        assert len(capped) == 3
+        assert full[:3] == capped
+        assert all(len(attempt) == 1 for attempt in full)
+        # Enumeration order is ascending edit cost, Algorithm 3's order.
+        costs = [attempt[0].edit_cost for attempt in full]
+        assert costs == sorted(costs)
+
+    def test_serial_stop_at_first_stops_at_winner(
+        self, employee_db, employee_result, employee_candidates
+    ):
+        planner = RoundPlanner(QFEConfig())
+        plan = planner.prepare_round(employee_db, employee_result, employee_candidates)
+        outcomes = planner.execute(plan, stop_at_first=True)
+        assert outcomes[-1].applied and outcomes[-1].distinguishes
+        assert all(
+            not (o.applied and o.distinguishes) for o in outcomes[:-1]
+        )
+
+    def test_serial_winner_materialization_is_reused_not_rebuilt(
+        self, employee_db, employee_result, employee_candidates
+    ):
+        planner = RoundPlanner(QFEConfig())
+        plan = planner.prepare_round(employee_db, employee_result, employee_candidates)
+        store: dict = {}
+        outcomes = planner.execute(plan, stop_at_first=True, winner_store=store)
+        winner = outcomes[-1]
+        # The in-process backend deposits the winning materialization so
+        # plan_round never builds the winner twice; the derived cache entry
+        # stays registered for the finalize partition.
+        assert store["attempt_index"] == winner.attempt_index
+        assert tuple(store["materialization"].delta.relations)
+        assert planner.join_cache.derived_link_count >= 1
+
+    def test_serial_backend_rewarms_after_base_invalidation(
+        self, employee_result, employee_candidates
+    ):
+        from repro.datasets import employee
+
+        database = employee.build_database()
+        planner = RoundPlanner(QFEConfig())
+        plan = planner.prepare_round(database, employee_result, employee_candidates)
+        planner.execute(plan, stop_at_first=False)
+        referenced = plan.context.referenced
+        assert planner.join_cache.columnar_for(database, referenced).cached_term_count > 0
+        # In-place mutation + the documented invalidate contract: the cache
+        # rebuilds a cold join, and the serial backend must warm it again
+        # rather than trusting its stale guard.
+        planner.join_cache.invalidate(database)
+        plan = planner.prepare_round(database, employee_result, employee_candidates)
+        planner.execute(plan, stop_at_first=False)
+        assert planner.join_cache.columnar_for(database, referenced).cached_term_count > 0
+
+
+# ------------------------------------------------------------------ backends
+class TestBackends:
+    def test_create_backend_mapping(self):
+        assert isinstance(create_backend(None), SerialBackend)
+        assert isinstance(create_backend(0), SerialBackend)
+        assert isinstance(create_backend(1), SerialBackend)
+        pool = create_backend(2)
+        assert isinstance(pool, ProcessPoolBackend)
+        assert pool.workers == 2
+        pool.close()
+
+    def test_process_pool_requires_two_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(1)
+
+    def test_parallel_outcomes_match_serial_with_zero_worker_joins(
+        self, employee_db, employee_result, employee_candidates, process_backend
+    ):
+        planner = RoundPlanner(QFEConfig())
+        plan = planner.prepare_round(employee_db, employee_result, employee_candidates)
+        serial = planner.execute(plan, stop_at_first=False)
+        parallel = planner.execute(plan, stop_at_first=False, backend=process_backend)
+        assert _outcome_key(parallel) == _outcome_key(serial)
+        assert all(o.full_joins == 0 for o in parallel)
+        assert all(o.full_joins == 0 for o in serial)
+
+    def test_parallel_sweep_matches_serial(
+        self, employee_db, employee_result, employee_candidates, process_backend
+    ):
+        planner = RoundPlanner(QFEConfig())
+        plan = planner.prepare_round(employee_db, employee_result, employee_candidates)
+        sweep = candidate_pair_attempts(plan.space, max_pairs=12)
+        serial = planner.execute(plan, attempts=sweep, stop_at_first=False)
+        parallel = planner.execute(
+            plan, attempts=sweep, stop_at_first=False, backend=process_backend
+        )
+        assert _outcome_key(parallel) == _outcome_key(serial)
+        assert all(o.full_joins == 0 for o in parallel)
+
+    def test_stop_at_first_parallel_finds_the_serial_winner(
+        self, employee_db, employee_result, employee_candidates, process_backend
+    ):
+        planner = RoundPlanner(QFEConfig())
+        plan = planner.prepare_round(employee_db, employee_result, employee_candidates)
+        serial = planner.execute(plan, stop_at_first=True)
+        parallel = planner.execute(plan, stop_at_first=True, backend=process_backend)
+
+        def winner(outcomes):
+            return next(
+                (o.attempt_index, o.pairs, o.signature)
+                for o in outcomes
+                if o.applied and o.distinguishes
+            )
+
+        assert winner(parallel) == winner(serial)
+
+    def test_generator_with_workers_matches_serial_generation(
+        self, employee_db, employee_result, employee_candidates
+    ):
+        serial = DatabaseGenerator(QFEConfig()).generate(
+            employee_db, employee_result, employee_candidates
+        )
+        generator = DatabaseGenerator(QFEConfig(), workers=2)
+        assert generator.backend.name == "process-pool"
+        try:
+            parallel = generator.generate(employee_db, employee_result, employee_candidates)
+        finally:
+            generator.close()
+        assert parallel.chosen_pairs == serial.chosen_pairs
+        assert parallel.fallback_attempts == serial.fallback_attempts
+        assert [g.query_indexes for g in parallel.partition.groups] == [
+            g.query_indexes for g in serial.partition.groups
+        ]
+        for ours, theirs in zip(parallel.partition.groups, serial.partition.groups):
+            assert ours.result.bag_equal(theirs.result)
+
+    def test_backend_survives_close_and_reuse(
+        self, employee_db, employee_result, employee_candidates
+    ):
+        backend = ProcessPoolBackend(2)
+        planner = RoundPlanner(QFEConfig(), backend=backend)
+        plan = planner.prepare_round(employee_db, employee_result, employee_candidates)
+        first = planner.execute(plan, stop_at_first=False)
+        planner.close()
+        second = planner.execute(plan, stop_at_first=False)
+        planner.close()
+        assert _outcome_key(first) == _outcome_key(second)
+
+    def test_round_context_requires_covered_signatures(
+        self, employee_db, employee_result, employee_candidates
+    ):
+        planner = RoundPlanner(QFEConfig())
+        plan = planner.prepare_round(employee_db, employee_result, employee_candidates)
+        signatures = required_signatures(plan.context)
+        snapshot = planner._snapshot_for(employee_db, signatures)
+        assert snapshot.covers(signatures)
+        # Same base, same signatures: the memoized snapshot is reused.
+        assert planner._snapshot_for(employee_db, signatures) is snapshot
+
+    def test_snapshot_is_recaptured_after_base_invalidation(
+        self, employee_result, employee_candidates
+    ):
+        from repro.datasets import employee
+
+        database = employee.build_database()
+        planner = RoundPlanner(QFEConfig())
+        plan = planner.prepare_round(database, employee_result, employee_candidates)
+        signatures = required_signatures(plan.context)
+        first = planner._snapshot_for(database, signatures)
+        # Honouring the cache contract for in-place mutation of a live base:
+        # invalidate() rebuilds the joins, so the memoized snapshot's joins
+        # are stale and the next request must capture a fresh one.
+        planner.join_cache.invalidate(database)
+        second = planner._snapshot_for(database, signatures)
+        assert second is not first
+        assert planner._snapshot_for(database, signatures) is second
+
+    def test_pool_rebroadcasts_after_in_place_base_mutation(
+        self, employee_result, employee_candidates
+    ):
+        from repro.datasets import employee
+
+        database = employee.build_database()
+        backend = ProcessPoolBackend(2)
+        planner = RoundPlanner(QFEConfig(), backend=backend)
+        try:
+            plan = planner.prepare_round(database, employee_result, employee_candidates)
+            planner.execute(plan, stop_at_first=False)
+            # Mutate the base in place and honour the cache contract.
+            relation = database.relation("Employee")
+            victim = relation.tuples[0]
+            salary = relation.value_of(victim, "salary")
+            # A large jump so the tuple crosses selection thresholds: a pool
+            # still holding the stale snapshot would visibly diverge.
+            relation.update_value(victim.tuple_id, "salary", salary + 5000)
+            planner.join_cache.invalidate(database)
+            plan = planner.prepare_round(database, employee_result, employee_candidates)
+            serial = planner.execute(plan, stop_at_first=False, backend=SerialBackend())
+            parallel = planner.execute(plan, stop_at_first=False)
+            # The pool was re-seeded with the post-mutation snapshot: its
+            # outcomes match a fresh serial evaluation, not the stale state.
+            assert _outcome_key(parallel) == _outcome_key(serial)
+            assert all(o.full_joins == 0 for o in parallel)
+        finally:
+            planner.close()

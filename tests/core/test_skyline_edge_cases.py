@@ -1,0 +1,123 @@
+"""Edge-case coverage for Algorithm 3 (skyline_stc_dtc_pairs).
+
+Three regimes beyond the happy path: a degenerate tuple-class space with no
+selection attributes, candidate sets no modification can split (a single
+surviving group everywhere), and determinism of the returned skyline under
+shuffled candidate order — the property the parallel round planner's
+bit-identical merge relies on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import QFEConfig
+from repro.core.skyline import skyline_stc_dtc_pairs
+from repro.core.tuple_class import TupleClassSpace
+from repro.relational.join import full_join
+from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+
+
+def _emp_query(*terms: Term) -> SPJQuery:
+    return SPJQuery(["Emp"], ["Emp.ename"], DNFPredicate.from_terms(list(terms)))
+
+
+@pytest.fixture()
+def joined(two_table_db):
+    return full_join(two_table_db)
+
+
+class TestEmptyTupleClassSpace:
+    def test_predicate_free_candidates_yield_no_pairs(self, two_table_db, joined):
+        # No selection predicates anywhere: the tuple-class space has zero
+        # attributes, a single (empty) tuple class, and nothing to enumerate.
+        queries = [
+            SPJQuery(["Emp"], ["Emp.ename"]),
+            SPJQuery(["Emp"], ["Emp.ename"], distinct=True),
+        ]
+        space = TupleClassSpace(joined, queries)
+        assert space.attribute_count == 0
+        skyline = skyline_stc_dtc_pairs(space, QFEConfig(), result_arity=1)
+        assert skyline.pairs == []
+        assert skyline.pair_count == 0
+        assert skyline.enumerated_pairs == 0
+        assert not skyline.truncated_by_time
+        assert not skyline.truncated_by_cap
+        assert skyline.most_balanced_binary_x is None
+
+    def test_empty_join_still_enumerates_nothing_useful(self, two_table_db):
+        empty = two_table_db.copy()
+        for name in list(empty.table_names):
+            relation = empty.relation(name)
+            for t in list(relation.tuples):
+                relation.delete(t.tuple_id)
+        joined = full_join(empty)
+        queries = [
+            _emp_query(Term("Emp.salary", ComparisonOp.GT, 60)),
+            _emp_query(Term("Emp.salary", ComparisonOp.GT, 50)),
+        ]
+        space = TupleClassSpace(joined, queries)
+        # No rows means no source tuple classes, hence no candidate pairs.
+        skyline = skyline_stc_dtc_pairs(space, QFEConfig(), result_arity=1)
+        assert skyline.pairs == []
+        assert skyline.enumerated_pairs == 0
+
+
+class TestSingleSurvivingGroup:
+    def test_identical_candidates_cannot_be_split(self, joined):
+        # Both candidates carry the *same* predicate: every modification
+        # leaves them in one result-equivalence group, every balance is
+        # +inf, and the skyline keeps nothing.
+        term = Term("Emp.salary", ComparisonOp.GT, 60)
+        queries = [_emp_query(term), _emp_query(term)]
+        space = TupleClassSpace(joined, queries)
+        assert space.attribute_count == 1
+        skyline = skyline_stc_dtc_pairs(space, QFEConfig(), result_arity=1)
+        assert skyline.pairs == []
+        assert skyline.enumerated_pairs > 0
+        assert all(balance == float("inf") for balance in skyline.pair_balances.values())
+
+
+class TestTieBreakingDeterminism:
+    def _queries(self):
+        return [
+            _emp_query(Term("Emp.salary", ComparisonOp.GT, 60)),
+            _emp_query(Term("Emp.salary", ComparisonOp.GT, 50)),
+            _emp_query(Term("Emp.salary", ComparisonOp.LE, 80)),
+            _emp_query(
+                Term("Emp.salary", ComparisonOp.GT, 60),
+                Term("Emp.senior", ComparisonOp.EQ, True),
+            ),
+        ]
+
+    def test_skyline_is_invariant_under_candidate_order(self, joined):
+        config = QFEConfig()
+        queries = self._queries()
+        base_space = TupleClassSpace(joined, queries)
+        base = skyline_stc_dtc_pairs(base_space, config, result_arity=1)
+        assert base.pairs, "fixture should produce a non-empty skyline"
+        rng = random.Random(7)
+        for _ in range(5):
+            shuffled = list(queries)
+            rng.shuffle(shuffled)
+            space = TupleClassSpace(joined, shuffled)
+            skyline = skyline_stc_dtc_pairs(space, config, result_arity=1)
+            # The pair *set*, its order, and the per-pair balances are all
+            # invariant: enumeration iterates sorted tuple classes and the
+            # balance of a pair depends on the candidate set, not its order.
+            assert skyline.pairs == base.pairs
+            assert skyline.pair_balances == base.pair_balances
+            assert skyline.enumerated_pairs == base.enumerated_pairs
+
+    def test_fallback_order_is_deterministic(self, joined):
+        config = QFEConfig()
+        space = TupleClassSpace(joined, self._queries())
+        first = skyline_stc_dtc_pairs(space, config, result_arity=1)
+        second = skyline_stc_dtc_pairs(space, config, result_arity=1)
+        assert first.singles_ordered_by_balance() == second.singles_ordered_by_balance()
+        ordered = first.singles_ordered_by_balance()
+        balances = [first.pair_balances[p] for p in ordered]
+        assert balances == sorted(balances)

@@ -1,0 +1,83 @@
+"""Monotonic-clock timing: the session layer must be immune to wall-clock skew.
+
+Session and round durations feed the paper's tables and, since the parallel
+round planner, are also summed across process boundaries — so they must come
+from the monotonic performance counter, never ``time.time``. These tests pin
+both the helper (non-negative even under a backwards-jumping source) and the
+session (timings unaffected by a hostile wall clock).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import timing
+from repro.core.config import QFEConfig
+from repro.core.feedback import WorstCaseSelector
+from repro.core.session import QFESession
+from repro.core.timing import Stopwatch, monotonic_seconds
+
+
+class TestStopwatch:
+    def test_elapsed_is_non_negative_and_grows(self):
+        watch = Stopwatch()
+        first = watch.elapsed()
+        second = watch.elapsed()
+        assert 0.0 <= first <= second
+
+    def test_restart_returns_elapsed_and_resets(self):
+        watch = Stopwatch()
+        elapsed = watch.restart()
+        assert elapsed >= 0.0
+        assert watch.elapsed() <= elapsed + 1.0  # restarted, not accumulated
+
+    def test_backwards_jumping_clock_is_clamped_to_zero(self, monkeypatch):
+        readings = iter([100.0, 40.0])  # the clock "jumps back" 60 seconds
+        monkeypatch.setattr(timing, "monotonic_seconds", lambda: next(readings))
+        watch = Stopwatch()
+        assert watch.elapsed() == 0.0
+
+    def test_monotonic_source_never_goes_backwards(self):
+        previous = monotonic_seconds()
+        for _ in range(1000):
+            current = monotonic_seconds()
+            assert current >= previous
+            previous = current
+
+
+class TestSessionTimingUsesMonotonicClock:
+    @pytest.fixture()
+    def hostile_wall_clock(self, monkeypatch):
+        # time.time() runs *backwards*: any timing derived from the wall
+        # clock would come out negative. perf_counter is untouched.
+        state = {"now": 1_700_000_000.0}
+
+        def backwards() -> float:
+            state["now"] -= 3600.0
+            return state["now"]
+
+        monkeypatch.setattr(time, "time", backwards)
+        return backwards
+
+    def test_session_timings_survive_wall_clock_skew(
+        self, hostile_wall_clock, employee_db, employee_result, employee_candidates
+    ):
+        session = QFESession(
+            employee_db, employee_result,
+            candidates=employee_candidates, config=QFEConfig(),
+        )
+        outcome = session.run(WorstCaseSelector())
+        assert outcome.iteration_count >= 1
+        assert outcome.query_generation_seconds >= 0.0
+        for record in outcome.iterations:
+            assert record.execution_seconds >= 0.0
+            assert record.skyline_seconds >= 0.0
+            assert record.selection_seconds >= 0.0
+            assert record.materialize_seconds >= 0.0
+        assert outcome.total_seconds >= 0.0
+        assert outcome.total_seconds == pytest.approx(
+            outcome.query_generation_seconds
+            + sum(r.execution_seconds for r in outcome.iterations)
+        )

@@ -16,6 +16,40 @@ class TestCLI:
         with pytest.raises(SystemExit):
             parser.parse_args(["not-an-experiment"])
 
+    def test_workers_flag_parses(self):
+        args = build_parser().parse_args(["table1", "--workers", "4"])
+        assert args.workers == 4
+        # Omitted flag defers to each session's config instead of forcing
+        # serial — QFEConfig(workers=...) must stay effective.
+        assert build_parser().parse_args(["table1"]).workers is None
+
+    def test_negative_workers_is_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--workers", "-2"])
+        assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_workers_default_is_installed_for_the_run_and_restored(self, monkeypatch, capsys):
+        from repro.experiments import cli as experiments_cli
+        from repro.experiments import runner
+
+        observed = {}
+
+        def stub(scale):
+            observed["workers"] = runner._DEFAULT_WORKERS
+            return []
+
+        monkeypatch.setitem(experiments_cli._EXPERIMENTS, "table1", stub)
+        previous = runner.set_default_workers(None)
+        try:
+            assert main(["table1", "--workers", "3"]) == 0
+            capsys.readouterr()
+            assert observed["workers"] == 3
+            # main() must restore the previous process-wide default.
+            assert runner._DEFAULT_WORKERS is None
+        finally:
+            runner.set_default_workers(previous)
+
     @pytest.mark.slow
     def test_run_single_table_to_stdout(self, capsys):
         assert main(["table5", "--scale", "0.03"]) == 0

@@ -17,6 +17,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--dataset", "employee", "--data", "x"])
 
+    def test_workers_flag_defaults_to_serial(self):
+        args = build_parser().parse_args(["--dataset", "employee"])
+        assert args.workers == 0
+        args = build_parser().parse_args(["--dataset", "employee", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_negative_workers_is_rejected_at_parse_time(self, capsys):
+        # Validated by the shared argparse type before any dataset loads:
+        # argparse exits with status 2 and a usage error on stderr.
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "--dataset", "employee",
+                "--target-sql", "SELECT name FROM Employee WHERE salary > 4000",
+                "--workers", "-1",
+            ])
+        assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
 
 class TestBuiltinDatasetRuns:
     def test_employee_with_target_sql_oracle(self, capsys):
@@ -28,6 +46,15 @@ class TestBuiltinDatasetRuns:
         assert exit_code == 0
         assert "Identified query" in output
         assert "SELECT" in output
+
+    def test_employee_parallel_workers_match_serial(self, capsys):
+        target = "SELECT name FROM Employee WHERE salary > 4000"
+        assert main(["--dataset", "employee", "--target-sql", target]) == 0
+        serial_output = capsys.readouterr().out
+        assert main(["--dataset", "employee", "--target-sql", target, "--workers", "2"]) == 0
+        parallel_output = capsys.readouterr().out
+        assert "Identified query" in parallel_output
+        assert parallel_output.splitlines()[-1] == serial_output.splitlines()[-1]
 
     def test_employee_with_scripted_answers(self, capsys):
         # Answer "1" (the largest subset) a few times; the session either
