@@ -12,8 +12,9 @@ machine-readable summary is written to ``benchmarks/BENCH_components.json``:
 per benchmark group, the median seconds of every test plus its speedup
 against the group's designated reference implementation (row-at-a-time for
 ``candidate-batch``, cold rebuild for ``delta-derive``, the serial backend
-for ``round-planner``). CI uploads the file as an artifact so the perf
-trajectory is tracked across PRs.
+for ``round-planner``, the single-user run for ``service-round``). CI
+uploads the file as an artifact so the perf trajectory is tracked across
+PRs.
 """
 
 from __future__ import annotations
@@ -34,6 +35,7 @@ _GROUP_REFERENCES = {
     "candidate-batch": "test_bench_all_candidates_rowwise_reference",
     "delta-derive": "test_bench_candidate_evaluation_rebuild",
     "round-planner": "test_bench_round_planner_serial",
+    "service-round": "test_bench_service_round_1_user",
 }
 
 

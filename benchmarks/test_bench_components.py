@@ -280,6 +280,105 @@ def test_round_planner_parallel_matches_serial_with_zero_worker_joins(
         assert all(o.full_joins == 0 for o in serial)
 
 
+# The ``service-round`` group is the session-service tentpole comparison:
+# full interactive sessions driven through the SessionManager — propose,
+# choose (simulated worst-case user), submit — with 1 versus 8 concurrent
+# users multiplexed over ONE shared process pool and one shared base
+# snapshot. The 8-user total divided by 8 approaches the 1-user total as
+# cores allow: per-round compute is serialized over the shared pool (each
+# round still fans out across its workers) while all cross-user concurrency
+# rides in the think-time the simulated users here don't have — so the
+# 1-CPU container reports ~8x for the 8-user run and multi-core CI shows the
+# amortization. BENCH_components.json records both medians with the 1-user
+# run as the reference.
+_SERVICE_USERS = 8
+_SERVICE_WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def service_round_setup(scientific_setup):
+    from repro.service.manager import SessionManager
+
+    database, result, _, candidates, _, _ = scientific_setup
+    backend = ProcessPoolBackend(_SERVICE_WORKERS)
+    # ONE manager (and thus one shared snapshot cache + per-pair join cache)
+    # across every measured run: pool spin-up and the base-snapshot broadcast
+    # happen once per service lifetime, never inside the timed region. A
+    # fresh manager per run would capture a new snapshot identity and force
+    # a pool re-seed inside the measurement. Finished sessions are kept (not
+    # deleted) so the shared pair — and with it the warm snapshot — always
+    # stays referenced.
+    manager = SessionManager(backend=backend, max_live_sessions=1024)
+    inputs = (database, result, tuple(candidates))
+    _drive_service_users(manager, inputs, 1)  # warm: pool + snapshot broadcast
+    yield manager, inputs
+    manager.close()
+    backend.close()
+
+
+def _drive_service_users(manager, inputs, users: int) -> int:
+    """Run *users* concurrent worst-case sessions; returns rounds served."""
+    import threading
+
+    from repro.core.feedback import WorstCaseSelector
+
+    database, result, candidates = inputs
+    rounds_before = manager.metrics()["rounds_served"]
+    ids = [
+        manager.create_session(
+            database=database,
+            result=result,
+            candidates=list(candidates),
+            config=QFEConfig(delta_seconds=0.25),
+        ).session_id
+        for _ in range(users)
+    ]
+    errors: list[BaseException] = []
+
+    def drive(session_id: str) -> None:
+        try:
+            selector = WorstCaseSelector()
+            while True:
+                _, pending = manager.get_round(session_id)
+                if pending is None:
+                    return
+                manager.submit_choice(
+                    session_id, selector.select(pending.round, pending.partition)
+                )
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=drive, args=(sid,)) for sid in ids]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, f"service session failed: {errors[:1]}"
+    rounds = manager.metrics()["rounds_served"] - rounds_before
+    assert rounds >= users  # every session went through at least one round
+    return rounds
+
+
+@pytest.mark.benchmark(group="service-round")
+def test_bench_service_round_1_user(benchmark, service_round_setup):
+    manager, inputs = service_round_setup
+    rounds = benchmark.pedantic(
+        _drive_service_users, args=(manager, inputs, 1), rounds=1, iterations=1
+    )
+    benchmark.extra_info["rounds"] = rounds
+    benchmark.extra_info["users"] = 1
+
+
+@pytest.mark.benchmark(group="service-round")
+def test_bench_service_round_8_users(benchmark, service_round_setup):
+    manager, inputs = service_round_setup
+    rounds = benchmark.pedantic(
+        _drive_service_users, args=(manager, inputs, _SERVICE_USERS), rounds=1, iterations=1
+    )
+    benchmark.extra_info["rounds"] = rounds
+    benchmark.extra_info["users"] = _SERVICE_USERS
+
+
 @pytest.mark.benchmark(group="components")
 def test_bench_query_generation(benchmark, scientific_setup):
     database, result = scientific_setup[0], scientific_setup[1]

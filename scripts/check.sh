@@ -23,6 +23,14 @@ echo
 echo "== differential: process-pool round planner is bit-identical to the serial oracle (Q1-Q6) =="
 python -m pytest -q tests/integration/test_parallel_differential.py -m ""
 
+echo
+echo "== differential: checkpoint/resume at every round is bit-identical to uninterrupted runs (Q1-Q6) =="
+python -m pytest -q tests/integration/test_service_differential.py -m ""
+
+echo
+echo "== service smoke: HTTP session, checkpoint -> kill -9 -> resume -> finish, bit-identical transcript =="
+python scripts/service_smoke.py
+
 if [[ "${1:-}" == "--slow" ]]; then
     echo
     echo "== slow tier: examples, tables, studies =="

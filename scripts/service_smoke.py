@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Service smoke test: checkpoint → kill -9 → resume → finish, bit-identical.
+
+Boots ``qfe-serve`` as a real subprocess with an on-disk checkpoint store,
+drives a full Q2 session through the HTTP client, hard-kills the server
+(SIGKILL — no graceful shutdown, the on-disk checkpoints are all that
+survives) after the first submitted choice, reboots it on the same store,
+finishes the session, and asserts the resumed session's canonical transcript
+is **byte-identical** to an uninterrupted in-process ``SerialBackend`` run of
+the same session spec.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import QFEConfig, QFESession, WorstCaseSelector  # noqa: E402
+from repro.service.checkpoint import session_transcript, transcript_json  # noqa: E402
+from repro.service.client import ServiceClient, ServiceClientError  # noqa: E402
+from repro.service.manager import workload_session_inputs  # noqa: E402
+
+WORKLOAD = "Q2"
+SCALE = 0.03
+CANDIDATES = 8
+# A generous Algorithm 3 budget so skyline enumeration never truncates on
+# wall-clock time — the one legitimately nondeterministic input.
+DELTA_SECONDS = 30.0
+PORT = int(os.environ.get("QFE_SMOKE_PORT", "8655"))
+
+
+def reference_transcript() -> str:
+    """The uninterrupted SerialBackend run of the same session spec."""
+    database, result, _, candidates = workload_session_inputs(
+        WORKLOAD, SCALE, candidate_count=CANDIDATES
+    )
+    session = QFESession(
+        database, result, candidates=candidates,
+        config=QFEConfig(delta_seconds=DELTA_SECONDS),
+    )
+    session.run(WorstCaseSelector())
+    return transcript_json(session_transcript(session, workload=WORKLOAD))
+
+
+def boot_server(store_dir: str) -> subprocess.Popen:
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--port", str(PORT), "--store-dir", store_dir,
+        ],
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        cwd=REPO_ROOT,
+    )
+    client = ServiceClient(f"http://127.0.0.1:{PORT}", timeout=120.0)
+    deadline = time.monotonic() + 30.0
+    while True:
+        try:
+            client.healthz()
+            return process
+        except ServiceClientError:
+            if process.poll() is not None:
+                output = process.stdout.read().decode("utf-8", "replace")
+                raise RuntimeError(f"qfe-serve exited at startup:\n{output}")
+            if time.monotonic() > deadline:
+                process.kill()
+                raise RuntimeError("qfe-serve did not come up within 30s")
+            time.sleep(0.1)
+
+
+def drive_round(client: ServiceClient, session_id: str) -> bool:
+    """One round: fetch, choose worst-case, submit. False when finished."""
+    payload = client.get_round(session_id)
+    if payload["round"] is None:
+        return False
+    client.submit_choice(session_id, ServiceClient.worst_case_choice(payload))
+    return True
+
+
+def main() -> int:
+    print(f"[smoke] reference: uninterrupted in-process {WORKLOAD} run ...", flush=True)
+    reference = reference_transcript()
+
+    with tempfile.TemporaryDirectory(prefix="qfe-smoke-") as store_dir:
+        print(f"[smoke] booting qfe-serve (store={store_dir}) ...", flush=True)
+        server = boot_server(store_dir)
+        client = ServiceClient(f"http://127.0.0.1:{PORT}", timeout=120.0)
+        try:
+            created = client.create_session(
+                WORKLOAD,
+                scale=SCALE,
+                candidate_count=CANDIDATES,
+                config={"delta_seconds": DELTA_SECONDS},
+            )
+            session_id = created["session_id"]
+            print(f"[smoke] session {session_id}: first round over HTTP ...", flush=True)
+            assert drive_round(client, session_id), "session finished before any round"
+
+            print("[smoke] SIGKILL the server mid-session ...", flush=True)
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=30)
+
+            print("[smoke] rebooting on the same checkpoint store ...", flush=True)
+            server = boot_server(store_dir)
+            rounds = 1
+            while drive_round(client, session_id):
+                rounds += 1
+            print(f"[smoke] resumed session finished after {rounds} rounds", flush=True)
+
+            resumed = transcript_json(client.transcript(session_id))
+            if resumed != reference:
+                print("[smoke] FAIL: resumed transcript differs from the reference")
+                print(f"  reference: {reference[:400]} ...")
+                print(f"  resumed:   {resumed[:400]} ...")
+                return 1
+            metrics = client.metrics()
+            print(
+                f"[smoke] OK: transcript bit-identical "
+                f"({len(resumed)} bytes, {metrics['rounds_served']} rounds served "
+                "by the resumed server)",
+                flush=True,
+            )
+            return 0
+        finally:
+            if server.poll() is None:
+                server.terminate()
+                try:
+                    server.wait(timeout=30)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,8 +5,11 @@ The package implements the full QFE system: an in-memory relational engine
 (:mod:`repro.sql`), a QBO-style candidate query generator (:mod:`repro.qbo`),
 the QFE interaction loop and Database Generator (:mod:`repro.core`), the
 paper's datasets and workload queries (:mod:`repro.datasets`,
-:mod:`repro.workloads`) and the experiment harness regenerating every table
-of the paper's evaluation (:mod:`repro.experiments`).
+:mod:`repro.workloads`), the experiment harness regenerating every table
+of the paper's evaluation (:mod:`repro.experiments`), and the session
+service layer — resumable checkpointed sessions, multi-session
+multiplexing, an HTTP JSON API (:mod:`repro.service`, served by
+``qfe-serve``).
 
 Quickstart::
 

@@ -82,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the round planner's candidate search "
              "(0/1 = serial; results are identical at any worker count)",
     )
+    parser.add_argument(
+        "--transcript-out", type=str, default=None, metavar="PATH",
+        help="write the machine-readable session transcript (rounds, deltas, "
+             "choices, timings) as JSON to this file",
+    )
     return parser
 
 
@@ -137,6 +142,19 @@ def _interactive_selector(output) -> CallbackSelector:
     return CallbackSelector(ask)
 
 
+def _write_transcript(session, path: str, output) -> None:
+    """Emit the session's machine-readable transcript JSON (checkpoint serializers)."""
+    import json
+
+    from repro.service.checkpoint import session_transcript
+
+    transcript = session_transcript(session, include_timings=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(transcript, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"Transcript written to {path}", file=output)
+
+
 def main(argv: Sequence[str] | None = None, *, output=None) -> int:
     """CLI entry point; returns a process exit code."""
     output = output or sys.stdout
@@ -174,6 +192,9 @@ def main(argv: Sequence[str] | None = None, *, output=None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=output)
         return 1
+
+    if args.transcript_out:
+        _write_transcript(session, args.transcript_out, output)
 
     print(f"\nCandidate queries considered: {outcome.initial_candidate_count}; "
           f"feedback rounds: {outcome.iteration_count}.", file=output)

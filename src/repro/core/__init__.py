@@ -40,7 +40,14 @@ from repro.core.materialize import AppliedModification, MaterializationResult, m
 from repro.core.modification import ClassPair, PairSetEffect, simulate_pair_set
 from repro.core.partitioner import QueryGroup, QueryPartition, partition_queries, partition_signature
 from repro.core.round_planner import RoundPlan, RoundPlanner
-from repro.core.session import IterationRecord, QFESession, SessionResult
+from repro.core.session import (
+    IterationRecord,
+    PendingRound,
+    QFESession,
+    RoundStats,
+    SessionResult,
+    StepResult,
+)
 from repro.core.skyline import SkylineResult, skyline_stc_dtc_pairs
 from repro.core.timing import Stopwatch, monotonic_seconds
 from repro.core.subset_selection import SubsetSelectionResult, pick_stc_dtc_subset
@@ -52,6 +59,9 @@ __all__ = [
     "QFESession",
     "SessionResult",
     "IterationRecord",
+    "PendingRound",
+    "RoundStats",
+    "StepResult",
     "DatabaseGenerator",
     "DatabaseGenerationResult",
     "DomainSubset",

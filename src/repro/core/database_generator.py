@@ -36,7 +36,7 @@ from repro.core.execution_backend import ExecutionBackend, create_backend
 from repro.core.round_planner import DatabaseGenerationResult, RoundPlanner
 from repro.core.subset_selection import ScoreFunction
 from repro.relational.database import Database
-from repro.relational.evaluator import JoinCache
+from repro.relational.evaluator import JoinCache, SharedSnapshotCache
 from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
 
@@ -54,6 +54,7 @@ class DatabaseGenerator:
         join_cache: JoinCache | None = None,
         backend: ExecutionBackend | None = None,
         workers: int | None = None,
+        snapshot_cache: SharedSnapshotCache | None = None,
     ) -> None:
         self.config = config or QFEConfig()
         self.score = score
@@ -68,7 +69,11 @@ class DatabaseGenerator:
         # garbage-collected; only in-place modification of a live cached
         # database requires ``join_cache.invalidate``.
         self.planner = RoundPlanner(
-            self.config, score=score, join_cache=join_cache, backend=backend
+            self.config,
+            score=score,
+            join_cache=join_cache,
+            backend=backend,
+            snapshot_cache=snapshot_cache,
         )
 
     @property

@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import pickle
+import threading
 import weakref
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
@@ -448,6 +449,14 @@ class ProcessPoolBackend(ExecutionBackend):
     dispatched in waves; with ``stop_at_first`` no further wave is submitted
     once a resolved prefix contains a winner, bounding speculative work to
     one wave. Outcomes are merged by unit index, never by completion order.
+
+    One pool may be **shared by many sessions** (the session service's
+    multiplexing model): ``run_attempts`` and ``close`` serialize on an
+    internal lock, so concurrent sessions' rounds execute one at a time over
+    the pool — each round still fans its attempts out across every worker —
+    and sessions over the same base database (sharing a snapshot through a
+    :class:`~repro.relational.evaluator.SharedSnapshotCache`) reuse the
+    broadcast seed instead of re-seeding on every session switch.
     """
 
     name = "process-pool"
@@ -468,6 +477,10 @@ class ProcessPoolBackend(ExecutionBackend):
         self._mp_context = mp_context
         self._executor: ProcessPoolExecutor | None = None
         self._snapshot: BaseSnapshot | None = None
+        # Guards executor lifecycle and the wave loop: a pool shared across
+        # sessions must run one round at a time (rounds still use every
+        # worker; cross-session concurrency lives in the human think time).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ pool
     def _context(self) -> multiprocessing.context.BaseContext:
@@ -508,6 +521,12 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> list[AttemptOutcome]:
         if not attempts:
             return []
+        with self._lock:
+            return self._run_attempts_locked(setup, attempts, stop_at_first=stop_at_first)
+
+    def _run_attempts_locked(
+        self, setup: RoundSetup, attempts: Sequence[Attempt], *, stop_at_first: bool
+    ) -> list[AttemptOutcome]:
         executor = self._ensure_executor(setup)
         if stop_at_first:
             # Single-attempt units: early exit wastes at most one wave.
@@ -554,10 +573,11 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def close(self) -> None:
         """Shut the pool down; the next round transparently re-creates it."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        self._snapshot = None
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+            self._snapshot = None
 
 
 def create_backend(workers: int | None) -> ExecutionBackend:

@@ -17,6 +17,13 @@ A selector may also return :data:`NONE_OF_THE_ABOVE` to signal that no
 presented result matches the intended query, which makes the session trigger
 another round of candidate generation (Section 2's "not shown in Algorithm 1"
 escape hatch).
+
+Serialization contract: a :class:`FeedbackRound` (with its options and
+deltas) travels inside the session's pending-round state when a suspended
+session is checkpointed (:mod:`repro.service.checkpoint`), so everything it
+transitively references must stay picklable; selectors, by contrast, are
+process-local and are never checkpointed — a resumed session is re-driven by
+whatever selector (or HTTP user) the resuming side supplies.
 """
 
 from __future__ import annotations

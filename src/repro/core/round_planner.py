@@ -53,7 +53,7 @@ from repro.core.timing import Stopwatch
 from repro.core.tuple_class import TupleClassSpace
 from repro.exceptions import DatabaseGenerationError
 from repro.relational.database import Database
-from repro.relational.evaluator import BaseSnapshot, JoinCache
+from repro.relational.evaluator import BaseSnapshot, JoinCache, SharedSnapshotCache
 from repro.relational.query import SPJQuery
 from repro.relational.relation import Relation
 
@@ -154,45 +154,34 @@ class RoundPlanner:
         score: ScoreFunction | None = None,
         join_cache: JoinCache | None = None,
         backend: ExecutionBackend | None = None,
+        snapshot_cache: SharedSnapshotCache | None = None,
     ) -> None:
         self.config = config or QFEConfig()
         self.score = score
         self.join_cache = join_cache if join_cache is not None else JoinCache()
         self.backend = backend if backend is not None else SerialBackend()
-        self._snapshot: BaseSnapshot | None = None
+        # Snapshot memoization lives in a SharedSnapshotCache: private by
+        # default (one planner, one session — the pre-service behaviour), or
+        # injected by the session service so that many sessions over the same
+        # base database share one snapshot object — and therefore one
+        # broadcast — on a shared worker pool. Currency (same live database,
+        # covered signatures, identity-same joins as the driver cache) is
+        # checked by the cache; an in-place base mutation followed by
+        # ``join_cache.invalidate`` still forces a re-capture and a pool
+        # re-broadcast exactly as before.
+        self.snapshot_cache = (
+            snapshot_cache if snapshot_cache is not None else SharedSnapshotCache()
+        )
 
     def close(self) -> None:
         """Release backend resources (worker pools); the planner stays usable."""
         self.backend.close()
 
     # ------------------------------------------------------------- snapshotting
-    def _snapshot_is_current(
-        self, snapshot: BaseSnapshot | None, database: Database, signatures
-    ) -> bool:
-        if snapshot is None or snapshot.database is not database:
-            return False
-        if not snapshot.covers(signatures):
-            return False
-        # The snapshot must hold the *same join objects* the driver cache
-        # currently serves: if the caller mutated the base in place and
-        # honoured the cache contract (``join_cache.invalidate``), the cache
-        # rebuilt fresh joins and the memoized snapshot's joins are stale —
-        # identity comparison catches exactly that and forces a re-capture
-        # (and, downstream, a re-broadcast to the worker pool).
-        return all(
-            self.join_cache.join_for(database, signature)
-            is snapshot.joins[BaseSnapshot._key(signature)]
-            for signature in signatures
-        )
-
     def _snapshot_for(
         self, database: Database, signatures: Sequence[tuple[str, ...]]
     ) -> BaseSnapshot:
-        if not self._snapshot_is_current(self._snapshot, database, signatures):
-            self._snapshot = BaseSnapshot.capture(
-                database, signatures, join_cache=self.join_cache
-            )
-        return self._snapshot
+        return self.snapshot_cache.snapshot_for(database, signatures, self.join_cache)
 
     # ---------------------------------------------------------------- prologue
     def prepare_round(

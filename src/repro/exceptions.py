@@ -63,3 +63,15 @@ class FeedbackError(QFESessionError):
 
 class DatabaseGenerationError(ReproError):
     """Raised when no distinguishing modified database can be produced."""
+
+
+class ServiceError(ReproError):
+    """Raised when the session service layer is driven incorrectly."""
+
+
+class CheckpointError(ServiceError):
+    """Raised when a session checkpoint cannot be serialized or restored."""
+
+
+class SessionNotFound(ServiceError):
+    """Raised when a session id matches neither a live session nor a checkpoint."""

@@ -16,7 +16,7 @@ from typing import Callable, Sequence
 from repro.core.config import nonnegative_int
 from repro.experiments import studies, tables
 from repro.experiments.report import ExperimentTable, render_tables
-from repro.experiments.runner import set_default_workers
+from repro.experiments.runner import set_default_workers, set_transcript_sink
 
 __all__ = ["main", "build_parser"]
 
@@ -72,6 +72,15 @@ def build_parser() -> argparse.ArgumentParser:
              "(0/1 = serial; omit to defer to each session's config; "
              "regenerated numbers are identical at any count)",
     )
+    parser.add_argument(
+        "--transcript-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable transcript of every session the "
+             "experiment runs (rounds, deltas, choices, timings) as one JSON "
+             "array to this file",
+    )
     return parser
 
 
@@ -88,8 +97,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     # When given, install the worker count process-wide so every table/study
     # session's round planner picks it up; restore afterwards (library
     # callers of main() must not inherit the CLI's setting). When omitted,
-    # each session's own config decides.
+    # each session's own config decides. The transcript sink works the same
+    # way: installed for the duration of the run, then restored.
     previous_workers = set_default_workers(args.workers) if args.workers is not None else None
+    transcripts: list | None = [] if args.transcript_out else None
+    previous_sink = set_transcript_sink(transcripts) if transcripts is not None else None
     try:
         if args.experiment == "all":
             produced: list[ExperimentTable] = []
@@ -100,6 +112,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     finally:
         if args.workers is not None:
             set_default_workers(previous_workers)
+        if transcripts is not None:
+            set_transcript_sink(previous_sink)
+
+    if transcripts is not None:
+        import json
+
+        with open(args.transcript_out, "w", encoding="utf-8") as handle:
+            json.dump(transcripts, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
     text = render_tables(produced)
     if args.output:

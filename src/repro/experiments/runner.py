@@ -34,6 +34,7 @@ __all__ = [
     "run_workload",
     "run_session",
     "set_default_workers",
+    "set_transcript_sink",
 ]
 
 FeedbackMode = Literal["worst", "oracle"]
@@ -54,6 +55,21 @@ def set_default_workers(workers: int | None) -> int | None:
         raise ValueError("workers must be non-negative")
     previous = _DEFAULT_WORKERS
     _DEFAULT_WORKERS = workers
+    return previous
+
+
+#: Process-wide sink collecting the machine-readable transcript of every
+#: session :func:`run_session` executes. The experiments CLI installs a list
+#: here for ``--transcript-out`` — table/study code stays oblivious — and
+#: restores the previous value afterwards.
+_TRANSCRIPT_SINK: list | None = None
+
+
+def set_transcript_sink(sink: list | None) -> list | None:
+    """Install a list collecting per-session transcripts; returns the previous sink."""
+    global _TRANSCRIPT_SINK
+    previous = _TRANSCRIPT_SINK
+    _TRANSCRIPT_SINK = sink
     return previous
 
 
@@ -183,6 +199,19 @@ def run_session(
         database, result, candidates=candidate_list, config=config, score=score, workers=workers
     )
     outcome = session.run(chosen_selector)
+    if _TRANSCRIPT_SINK is not None:
+        from repro.service.checkpoint import session_transcript
+
+        _TRANSCRIPT_SINK.append(
+            {
+                "workload": workload_name,
+                "scale": scale,
+                "feedback": feedback if selector is None else type(chosen_selector).__name__,
+                "transcript": session_transcript(
+                    session, workload=workload_name, include_timings=True
+                ),
+            }
+        )
     simulated = chosen_selector if isinstance(chosen_selector, SimulatedUser) else None
     return ExperimentRun(
         workload=workload_name,

@@ -26,6 +26,7 @@ Section 5 assumption; ``distinct=True`` on a query switches to set semantics
 from __future__ import annotations
 
 import pickle
+import threading
 import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
@@ -51,6 +52,7 @@ __all__ = [
     "results_equal",
     "result_fingerprint",
     "BaseSnapshot",
+    "SharedSnapshotCache",
     "JoinCache",
 ]
 
@@ -380,6 +382,119 @@ class BaseSnapshot:
         if not isinstance(snapshot, cls):
             raise TypeError(f"payload does not contain a {cls.__name__}")
         return snapshot
+
+
+class SharedSnapshotCache:
+    """Memoizes one :class:`BaseSnapshot` per live base database.
+
+    A single QFE session re-captures its base snapshot only when the base
+    state changes; a *service* hosting many sessions over the same example
+    database must additionally share the captured snapshot **across**
+    sessions, or every session switch would re-broadcast a fresh (identical)
+    snapshot to the shared worker pool. This cache provides that sharing:
+    sessions whose round planners hold the same cache — and evaluate against
+    the same base database instance — receive the *same snapshot object*,
+    which is exactly the identity the
+    :class:`~repro.core.execution_backend.ProcessPoolBackend` keys its
+    seed-once broadcast on.
+
+    A memoized snapshot is reused only while it is *current*:
+
+    * it was captured from the same live database instance (weakref-guarded,
+      so a recycled ``id`` can never alias a dead database's snapshot);
+    * it covers every requested join signature; and
+    * it holds the very join objects the given :class:`JoinCache` currently
+      serves — if the caller mutated the base in place and honoured the cache
+      contract (``join_cache.invalidate``), the cache rebuilt fresh joins and
+      the stale snapshot is dropped, forcing a re-capture (and, downstream, a
+      re-broadcast to any worker pool).
+
+    When a new signature set extends a still-current snapshot, the union of
+    old and new signatures is captured so sessions with different candidate
+    sets over one base never thrash each other's entry. All operations are
+    thread-safe: the service layer proposes rounds from multiple sessions
+    concurrently.
+
+    Lifetime contract: a memoized snapshot strongly references its base
+    database (it must — the snapshot is the picklable broadcast payload), so
+    an entry **pins the base alive** until :meth:`evict` or :meth:`clear` is
+    called. A cache owned by one planner simply dies with it; a long-lived
+    shared cache (the session service) must evict alongside whatever
+    base-lifetime bookkeeping it keeps — the
+    :class:`~repro.service.manager.SessionManager` evicts a pair's snapshot
+    when it prunes the pair. Because entries hold their database alive, a
+    recycled ``id`` can never alias a dead database's snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._snapshots: dict[int, BaseSnapshot] = {}
+
+    def _is_current(
+        self,
+        snapshot: BaseSnapshot | None,
+        database: Database,
+        signatures: Sequence[tuple[str, ...]],
+        join_cache: "JoinCache",
+    ) -> bool:
+        if snapshot is None or snapshot.database is not database:
+            return False
+        if not snapshot.covers(signatures):
+            return False
+        return all(
+            join_cache.join_for(database, signature)
+            is snapshot.joins[BaseSnapshot._key(signature)]
+            for signature in signatures
+        )
+
+    def snapshot_for(
+        self,
+        database: Database,
+        signatures: Sequence[Iterable[str]],
+        join_cache: "JoinCache",
+    ) -> BaseSnapshot:
+        """The memoized (or freshly captured) snapshot covering *signatures*."""
+        keys = tuple(BaseSnapshot._key(signature) for signature in signatures)
+        with self._lock:
+            database_id = id(database)
+            snapshot = self._snapshots.get(database_id)
+            if self._is_current(snapshot, database, keys, join_cache):
+                return snapshot
+            capture_keys = set(keys)
+            if snapshot is not None and snapshot.database is database:
+                # Joins still identity-current for the *old* coverage are kept
+                # so alternating signature sets extend instead of thrash.
+                capture_keys.update(
+                    key
+                    for key in snapshot.signatures
+                    if self._is_current(snapshot, database, (key,), join_cache)
+                )
+            snapshot = BaseSnapshot.capture(
+                database, sorted(capture_keys), join_cache=join_cache
+            )
+            self._snapshots[database_id] = snapshot
+            return snapshot
+
+    def evict(self, database: Database) -> bool:
+        """Drop the memoized snapshot of *database*; returns whether one existed.
+
+        Required whenever a long-lived shared cache stops serving a base
+        database (the entry would otherwise pin the database — and its
+        joins — alive forever).
+        """
+        with self._lock:
+            return self._snapshots.pop(id(database), None) is not None
+
+    @property
+    def snapshot_count(self) -> int:
+        """Number of live memoized snapshots (diagnostics and tests)."""
+        with self._lock:
+            return len(self._snapshots)
+
+    def clear(self) -> None:
+        """Drop every memoized snapshot."""
+        with self._lock:
+            self._snapshots.clear()
 
 
 class JoinCache:

@@ -1,0 +1,126 @@
+"""Command-line entry point for the QFE session service.
+
+Installed as the ``qfe-serve`` console script (also ``python -m repro.service``)::
+
+    qfe-serve                                   # in-memory, serial backend
+    qfe-serve --port 8642 --workers 4           # shared 4-process round search
+    qfe-serve --store-dir ./checkpoints         # durable: kill/restart resumes
+
+With ``--store-dir`` every session is checkpointed after each step, so a
+killed or restarted server picks sessions up exactly where they were (the
+client just keeps using the same session id). ``--session-ttl`` and
+``--max-stored-sessions`` bound the checkpoint store; ``--max-live-sessions``
+bounds resident sessions (least-recently-used ones passivate to the store).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import nonnegative_int
+
+__all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise ValueError("must be at least 1")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise ValueError("must be positive")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the service CLI."""
+    parser = argparse.ArgumentParser(
+        prog="qfe-serve",
+        description="Serve QFE sessions over HTTP: many concurrent interactive users, "
+                    "one shared round-search backend, checkpointed resumable sessions.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8642, help="bind port (default 8642)")
+    parser.add_argument(
+        "--workers", type=nonnegative_int, default=0,
+        help="worker processes for the shared round-search pool "
+             "(0/1 = serial; the pool is shared by every session)",
+    )
+    parser.add_argument(
+        "--store-dir", default=None,
+        help="directory for on-disk session checkpoints (enables kill/restart resume)",
+    )
+    parser.add_argument(
+        "--max-live-sessions", type=_positive_int, default=64,
+        help="resident session cap; least-recently-used sessions passivate to the store",
+    )
+    parser.add_argument(
+        "--max-stored-sessions", type=_positive_int, default=None,
+        help="checkpoint store cap (least-recently-used checkpoints evict first)",
+    )
+    parser.add_argument(
+        "--session-ttl", type=_positive_float, default=None,
+        help="seconds of inactivity after which stored checkpoints expire",
+    )
+    parser.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="with --store-dir: do not checkpoint after every step (only on shutdown)",
+    )
+    parser.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, *, output=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    output = output or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    from repro.service.manager import SessionManager
+    from repro.service.server import make_server
+    from repro.service.store import FileSessionStore
+
+    store = None
+    if args.store_dir:
+        store = FileSessionStore(
+            args.store_dir,
+            max_sessions=args.max_stored_sessions,
+            ttl_seconds=args.session_ttl,
+        )
+    manager = SessionManager(
+        workers=args.workers,
+        store=store,
+        checkpoint_each_step=not args.no_checkpoint,
+        max_live_sessions=args.max_live_sessions,
+    )
+    server = make_server(manager, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(
+        f"qfe-serve listening on http://{host}:{port} "
+        f"(backend={manager.backend.name}, "
+        f"store={'disk:' + str(args.store_dir) if store else 'memory'})",
+        file=output,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (checkpointing live sessions)", file=output, flush=True)
+    finally:
+        try:
+            server.shutdown()
+        except Exception:
+            pass
+        server.server_close()
+        manager.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

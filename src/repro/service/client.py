@@ -1,0 +1,113 @@
+"""A minimal HTTP client for the QFE session service (stdlib ``urllib`` only).
+
+Used by the integration tests, the CI smoke driver and
+``examples/interactive_service.py``; mirrors the endpoint set of
+:mod:`repro.service.server` one method per route. Every method returns the
+decoded JSON payload; HTTP error statuses raise :class:`ServiceClientError`
+carrying the status code and the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.exceptions import ServiceError
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(ServiceError):
+    """An HTTP-level failure talking to the session service."""
+
+    def __init__(self, status: int | None, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to a running ``qfe-serve`` instance."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ plumbing
+    def _request(self, method: str, path: str, payload: dict | None = None) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json; charset=utf-8"
+        request = Request(url, data=data, headers=headers, method=method)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+        except HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+            except Exception:
+                message = str(exc)
+            raise ServiceClientError(exc.code, message) from exc
+        except URLError as exc:
+            raise ServiceClientError(None, f"cannot reach {url}: {exc.reason}") from exc
+        return json.loads(body.decode("utf-8"))
+
+    # ------------------------------------------------------------------- routes
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def list_sessions(self) -> list[str]:
+        return self._request("GET", "/sessions")["sessions"]
+
+    def create_session(
+        self,
+        workload: str,
+        *,
+        scale: float = 1.0,
+        candidate_count: int | None = None,
+        config: dict | None = None,
+    ) -> dict:
+        payload: dict = {"workload": workload, "scale": scale}
+        if candidate_count is not None:
+            payload["candidate_count"] = candidate_count
+        if config:
+            payload["config"] = config
+        return self._request("POST", "/sessions", payload)
+
+    def get_round(self, session_id: str) -> dict:
+        return self._request("GET", f"/sessions/{session_id}/round")
+
+    def submit_choice(self, session_id: str, choice: int) -> dict:
+        return self._request("POST", f"/sessions/{session_id}/choice", {"choice": choice})
+
+    def transcript(self, session_id: str, *, include_timings: bool = False) -> dict:
+        suffix = "?timings=1" if include_timings else ""
+        return self._request("GET", f"/sessions/{session_id}/transcript{suffix}")
+
+    def delete_session(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/sessions/{session_id}")
+
+    # --------------------------------------------------------------- convenience
+    @staticmethod
+    def worst_case_choice(round_payload: dict) -> int:
+        """The worst-case user's pick for a ``get_round`` payload.
+
+        Mirrors :class:`~repro.core.feedback.WorstCaseSelector`: the option
+        backed by the most candidate queries, first index on ties — so an
+        HTTP-driven session reproduces the in-process worst-case transcript
+        bit for bit.
+        """
+        options = round_payload["round"]["options"]
+        best_index, best_count = 0, -1
+        for option in options:
+            if option["query_count"] > best_count:
+                best_count = option["query_count"]
+                best_index = option["index"]
+        return best_index

@@ -90,3 +90,77 @@ class TestSelectors:
     def test_scripted_selector_allows_rejection(self, modified_round):
         round_, partition = modified_round
         assert ScriptedSelector([NONE_OF_THE_ABOVE]).select(round_, partition) == NONE_OF_THE_ABOVE
+
+
+@pytest.fixture()
+def single_group_round(employee_db, employee_result, employee_candidates):
+    """A round whose partition has exactly one group (nothing distinguished)."""
+    modified = employee_db.copy()
+    modified.relation("Employee").update_value(1, "salary", 3900)
+    partition = partition_queries(employee_candidates[:1], modified)
+    round_ = build_feedback_round(1, employee_db, employee_result, modified, partition)
+    assert partition.group_count == 1
+    return round_, partition
+
+
+class TestSingleGroupPartition:
+    def test_none_of_the_above_is_valid_on_single_group(self, single_group_round):
+        # A user may reject even a one-option round; every selector that can
+        # reject must return NONE_OF_THE_ABOVE cleanly rather than exploding
+        # on the degenerate partition.
+        round_, partition = single_group_round
+        assert ScriptedSelector([NONE_OF_THE_ABOVE]).select(round_, partition) == NONE_OF_THE_ABOVE
+
+    def test_oracle_rejects_single_group_when_target_differs(self, single_group_round,
+                                                             employee_candidates):
+        round_, partition = single_group_round
+        target = employee_candidates[1]  # produces a different result on D'
+        assert OracleSelector(target).select(round_, partition) == NONE_OF_THE_ABOVE
+
+    def test_worst_case_picks_the_only_option(self, single_group_round):
+        round_, partition = single_group_round
+        assert WorstCaseSelector().select(round_, partition) == 0
+
+
+class TestOutOfRangeChoice:
+    def test_session_rejects_out_of_range_selector(self, employee_db, employee_result,
+                                                   employee_candidates):
+        from repro.core.session import QFESession
+
+        # A selector returning one past the last option index: the session
+        # must fail with FeedbackError, not IndexError.
+        selector = CallbackSelector(lambda round_, partition: round_.option_count)
+        session = QFESession(employee_db, employee_result, candidates=employee_candidates)
+        with pytest.raises(FeedbackError, match="invalid option index"):
+            session.run(selector)
+
+    def test_session_rejects_negative_non_sentinel_choice(self, employee_db, employee_result,
+                                                          employee_candidates):
+        from repro.core.session import QFESession
+
+        # -2 is neither a valid index nor the NONE_OF_THE_ABOVE sentinel (-1).
+        selector = CallbackSelector(lambda round_, partition: -2)
+        session = QFESession(employee_db, employee_result, candidates=employee_candidates)
+        with pytest.raises(FeedbackError, match="invalid option index"):
+            session.run(selector)
+
+
+class TestEmptyDeltaRound:
+    def test_build_feedback_round_on_unmodified_database(self, employee_db, employee_result,
+                                                         employee_candidates):
+        # D' == D: the delta presentation must degrade to explicit
+        # "(no changes)" text, with zero costs, for every option whose result
+        # matches the original.
+        unmodified = employee_db.copy()
+        partition = partition_queries(employee_candidates, unmodified)
+        round_ = build_feedback_round(
+            1, employee_db, employee_result, unmodified, partition
+        )
+        assert round_.database_delta.cost == 0
+        assert round_.database_delta.modified_relation_count == 0
+        assert round_.database_delta.describe() == ["(no database changes)"]
+        matching = [o for o in round_.options if o.delta.cost == 0]
+        assert matching, "at least one candidate reproduces R on the unmodified D"
+        assert matching[0].delta.describe() == ["(result unchanged)"]
+        text = round_.pretty()
+        assert "(no database changes)" in text

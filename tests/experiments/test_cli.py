@@ -50,6 +50,35 @@ class TestCLI:
         finally:
             runner.set_default_workers(previous)
 
+    def test_transcript_out_collects_every_session(self, monkeypatch, tmp_path, capsys):
+        import json
+
+        from repro.experiments import cli as experiments_cli
+        from repro.experiments import runner
+        from repro.workloads import build_pair
+
+        def stub(scale):
+            # A real (tiny) session so the sink records a genuine transcript.
+            database, result, target = build_pair("Q2", 0.03)
+            runner.run_session(
+                database, result, target, candidate_count=6, feedback="worst",
+                workload_name="Q2", scale=0.03,
+            )
+            return []
+
+        monkeypatch.setitem(experiments_cli._EXPERIMENTS, "table1", stub)
+        out = tmp_path / "transcripts.json"
+        assert main(["table1", "--transcript-out", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert len(payload) == 1
+        entry = payload[0]
+        assert entry["workload"] == "Q2"
+        assert entry["transcript"]["iterations"]
+        assert "execution_seconds" in entry["transcript"]["iterations"][0]
+        # The sink is restored after the run: later sessions are not recorded.
+        assert runner._TRANSCRIPT_SINK is None
+
     @pytest.mark.slow
     def test_run_single_table_to_stdout(self, capsys):
         assert main(["table5", "--scale", "0.03"]) == 0

@@ -51,3 +51,10 @@ class TestExamples:
         output = capsys.readouterr().out
         assert "Summary across participants" in output
         assert "QFE cost model" in output
+
+    def test_interactive_service(self, capsys):
+        _run_module(EXAMPLES_DIR / "interactive_service.py", [])
+        output = capsys.readouterr().out
+        assert "simulating a server crash" in output
+        assert output.count("finished: converged") == 2
+        assert "restarted with the same store" in output

@@ -56,6 +56,24 @@ class TestBuiltinDatasetRuns:
         assert "Identified query" in parallel_output
         assert parallel_output.splitlines()[-1] == serial_output.splitlines()[-1]
 
+    def test_transcript_out_writes_machine_readable_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "transcript.json"
+        exit_code = main([
+            "--dataset", "employee",
+            "--target-sql", "SELECT name FROM Employee WHERE salary > 4000",
+            "--transcript-out", str(out),
+        ])
+        assert exit_code == 0
+        assert f"Transcript written to {out}" in capsys.readouterr().out
+        transcript = json.loads(out.read_text())
+        assert transcript["status"] == "converged"
+        assert transcript["identified_sql"].startswith("SELECT")
+        assert transcript["iterations"]
+        assert "execution_seconds" in transcript["iterations"][0]
+        assert len(transcript["rounds"]) == transcript["iteration_count"]
+
     def test_employee_with_scripted_answers(self, capsys):
         # Answer "1" (the largest subset) a few times; the session either
         # converges or reports the remaining candidates — both are valid exits.

@@ -1,0 +1,142 @@
+"""Integration tests for the HTTP JSON API and its client."""
+
+import pytest
+
+from repro.core import QFEConfig, QFESession, WorstCaseSelector
+from repro.service.checkpoint import session_transcript, transcript_json
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.manager import SessionManager, workload_session_inputs
+from repro.service.server import make_server
+from repro.service.store import InMemorySessionStore
+
+_SPEC = dict(scale=0.03, candidate_count=8, config={"delta_seconds": 30.0})
+
+
+@pytest.fixture(scope="module")
+def service():
+    manager = SessionManager(store=InMemorySessionStore())
+    server = make_server(manager)
+    server.serve_background()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    yield client
+    server.close()
+
+
+def _drive_http(client, session_id):
+    rounds = 0
+    while True:
+        payload = client.get_round(session_id)
+        if payload["round"] is None:
+            return payload, rounds
+        client.submit_choice(session_id, ServiceClient.worst_case_choice(payload))
+        rounds += 1
+
+
+class TestPlumbing:
+    def test_healthz_and_metrics(self, service):
+        health = service.healthz()
+        assert health["status"] == "ok"
+        metrics = service.metrics()
+        assert "rounds_served" in metrics
+        assert "round_latency_seconds" in metrics
+
+    def test_unknown_routes_and_sessions(self, service):
+        with pytest.raises(ServiceClientError) as excinfo:
+            service.get_round("s-missing")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceClientError) as excinfo:
+            service._request("GET", "/nonsense")
+        assert excinfo.value.status == 404
+
+    def test_create_session_validation(self, service):
+        for payload in (
+            {},  # no workload
+            {"workload": "Q2", "scale": -1},
+            {"workload": "Q2", "candidate_count": 1},
+            {"workload": "Q2", "config": {"workers": 4}},  # server-side only
+            {"workload": "Q2", "config": {"nonsense": True}},
+            {"workload": "Q2", "config": {"beta": "high"}},  # wrong type -> 400
+            {"workload": "Q2", "config": {"delta_seconds": -1}},
+        ):
+            with pytest.raises(ServiceClientError) as excinfo:
+                service._request("POST", "/sessions", payload)
+            assert excinfo.value.status == 400
+
+    def test_choice_validation(self, service):
+        sid = service.create_session("Q2", **_SPEC)["session_id"]
+        try:
+            service.get_round(sid)
+            with pytest.raises(ServiceClientError) as excinfo:
+                service._request("POST", f"/sessions/{sid}/choice", {})
+            assert excinfo.value.status == 400
+            with pytest.raises(ServiceClientError) as excinfo:
+                service.submit_choice(sid, 99)
+            assert excinfo.value.status == 400
+            # The bad choice left the round pending: a valid one still works.
+            payload = service.get_round(sid)
+            assert payload["round"] is not None
+        finally:
+            service.delete_session(sid)
+
+    def test_delete_404_on_second_delete(self, service):
+        sid = service.create_session("Q2", **_SPEC)["session_id"]
+        assert service.delete_session(sid) == {"deleted": sid}
+        with pytest.raises(ServiceClientError) as excinfo:
+            service.delete_session(sid)
+        assert excinfo.value.status == 404
+
+
+class TestFullSession:
+    def test_http_session_is_bit_identical_to_in_process_run(self, service):
+        # In-process reference: same deterministic inputs, same worst-case user.
+        database, result, _, candidates = workload_session_inputs(
+            "Q2", 0.03, candidate_count=8
+        )
+        reference = QFESession(
+            database, result, candidates=candidates,
+            config=QFEConfig(delta_seconds=30.0),
+        )
+        reference.run(WorstCaseSelector())
+        expected = transcript_json(session_transcript(reference, workload="Q2"))
+
+        created = service.create_session("Q2", **_SPEC)
+        sid = created["session_id"]
+        assert created["status"] == "new"
+        final, rounds = _drive_http(service, sid)
+        assert final["status"] == "converged"
+        assert final["identified_sql"].startswith("SELECT")
+        assert rounds == reference.outcome.iteration_count
+
+        assert transcript_json(service.transcript(sid)) == expected
+        timed = service.transcript(sid, include_timings=True)
+        assert "total_seconds" in timed
+        assert sid in service.list_sessions()
+        service.delete_session(sid)
+
+    def test_round_payload_shape(self, service):
+        sid = service.create_session("Q2", **_SPEC)["session_id"]
+        try:
+            payload = service.get_round(sid)
+            round_ = payload["round"]
+            assert round_["iteration"] == 1
+            assert round_["option_count"] == len(round_["options"]) >= 2
+            assert round_["candidate_count"] >= 2
+            assert round_["database_delta"]["lines"]
+            for option in round_["options"]:
+                assert {"index", "query_count", "delta_cost", "delta_lines", "rows"} <= set(option)
+            # Replaying the GET returns the same round (no recompute).
+            replay = service.get_round(sid)
+            assert replay["round"] == round_
+        finally:
+            service.delete_session(sid)
+
+    def test_finished_session_choice_conflicts(self, service):
+        sid = service.create_session("Q2", **_SPEC)["session_id"]
+        try:
+            _drive_http(service, sid)
+            with pytest.raises(ServiceClientError) as excinfo:
+                service.submit_choice(sid, 0)
+            assert excinfo.value.status == 409
+        finally:
+            service.delete_session(sid)

@@ -1,0 +1,156 @@
+"""Unit tests for the session-checkpoint stores (in-memory and on-disk)."""
+
+import os
+
+import pytest
+
+from repro.exceptions import CheckpointError, SessionNotFound
+from repro.service.store import CHECKPOINT_SUFFIX, FileSessionStore, InMemorySessionStore
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return InMemorySessionStore()
+    return FileSessionStore(tmp_path / "checkpoints")
+
+
+class TestBasicOperations:
+    def test_put_get_roundtrip(self, store):
+        store.put("s1", b"alpha")
+        assert store.get("s1") == b"alpha"
+        store.put("s1", b"beta")  # overwrite
+        assert store.get("s1") == b"beta"
+
+    def test_missing_session_raises(self, store):
+        with pytest.raises(SessionNotFound):
+            store.get("nope")
+
+    def test_delete(self, store):
+        store.put("s1", b"alpha")
+        assert store.delete("s1") is True
+        assert store.delete("s1") is False
+        with pytest.raises(SessionNotFound):
+            store.get("s1")
+
+    def test_ids_and_len(self, store):
+        store.put("b", b"2")
+        store.put("a", b"1")
+        assert sorted(store.ids()) == ["a", "b"]
+        assert len(store) == 2
+        assert "a" in store
+        assert "zz" not in store
+
+    def test_invalid_session_ids_rejected(self, store):
+        for bad in ("", "../etc/passwd", "a/b", ".hidden", "x" * 200):
+            with pytest.raises(CheckpointError):
+                store.put(bad, b"blob")
+
+
+class TestInMemoryEviction:
+    def test_lru_eviction_prefers_cold_sessions(self):
+        clock = FakeClock()
+        store = InMemorySessionStore(max_sessions=2, clock=clock)
+        store.put("old", b"1")
+        clock.advance(1)
+        store.put("warm", b"2")
+        clock.advance(1)
+        store.get("old")  # refresh recency: "old" is now the warmest
+        clock.advance(1)
+        store.put("new", b"3")  # evicts "warm", the least recently used
+        assert sorted(store.ids()) == ["new", "old"]
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        store = InMemorySessionStore(ttl_seconds=10.0, clock=clock)
+        store.put("s1", b"1")
+        clock.advance(5)
+        assert store.get("s1") == b"1"  # refreshes the TTL too
+        clock.advance(9)
+        assert store.ids() == ["s1"]  # 9 < 10 since last use
+        clock.advance(2)
+        assert store.ids() == []
+        with pytest.raises(SessionNotFound):
+            store.get("s1")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InMemorySessionStore(max_sessions=0)
+        with pytest.raises(ValueError):
+            InMemorySessionStore(ttl_seconds=0)
+
+
+class TestFileStore:
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.put("s1", b"x" * 4096)
+        store.put("s1", b"y" * 4096)
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names == [f"s1{CHECKPOINT_SUFFIX}"]
+
+    def test_survives_reopen(self, tmp_path):
+        FileSessionStore(tmp_path).put("s1", b"durable")
+        # A second store instance over the same directory (a restarted
+        # process) sees the checkpoint.
+        assert FileSessionStore(tmp_path).get("s1") == b"durable"
+
+    def test_under_capacity_store_never_evicts(self, tmp_path):
+        # Regression: a negative overflow slice (entries[:-1]) used to delete
+        # checkpoints from the *front* while the store was UNDER capacity.
+        store = FileSessionStore(tmp_path, max_sessions=4)
+        store.put("a", b"1")
+        store.put("b", b"2")
+        store.put("c", b"3")
+        assert sorted(store.ids()) == ["a", "b", "c"]
+        assert store.get("a") == b"1"  # get() runs the expiry sweep too
+        assert sorted(store.ids()) == ["a", "b", "c"]
+
+    def test_lru_eviction_by_mtime(self, tmp_path):
+        store = FileSessionStore(tmp_path, max_sessions=2)
+        store.put("old", b"1")
+        store.put("warm", b"2")
+        # Backdate "warm" so "old" is the most recently used of the two.
+        warm = tmp_path / f"warm{CHECKPOINT_SUFFIX}"
+        past = os.stat(warm).st_mtime - 100
+        os.utime(warm, (past, past))
+        store.put("new", b"3")
+        assert sorted(store.ids()) == ["new", "old"]
+
+    def test_ttl_expiry_by_mtime(self, tmp_path):
+        clock = FakeClock(now=1_000_000.0)
+        store = FileSessionStore(tmp_path, ttl_seconds=60.0, clock=clock)
+        store.put("s1", b"1")
+        stale = tmp_path / f"s1{CHECKPOINT_SUFFIX}"
+        os.utime(stale, (clock.now - 120, clock.now - 120))
+        assert store.ids() == []
+        assert not stale.exists()
+
+    def test_get_refreshes_recency(self, tmp_path):
+        store = FileSessionStore(tmp_path, max_sessions=2)
+        store.put("a", b"1")
+        store.put("b", b"2")
+        # Backdate both, then read "a": its mtime refreshes to now.
+        for name in ("a", "b"):
+            path = tmp_path / f"{name}{CHECKPOINT_SUFFIX}"
+            past = os.stat(path).st_mtime - 100
+            os.utime(path, (past, past))
+        store.get("a")
+        store.put("c", b"3")  # evicts "b"
+        assert sorted(store.ids()) == ["a", "c"]
+
+    def test_directory_is_created(self, tmp_path):
+        nested = tmp_path / "deep" / "nested"
+        store = FileSessionStore(nested)
+        store.put("s1", b"1")
+        assert nested.is_dir()
