@@ -28,6 +28,10 @@ echo "== differential: checkpoint/resume at every round is bit-identical to unin
 python -m pytest -q tests/integration/test_service_differential.py -m ""
 
 echo
+echo "== differential: scenario engine — generated scenario, serial vs 2-worker pool, transcript bit-identity =="
+python -m pytest -q tests/integration/test_scenario_differential.py -k "fast_guard or checkpoint_resumes"
+
+echo
 echo "== service smoke: HTTP session, checkpoint -> kill -9 -> resume -> finish, bit-identical transcript =="
 python scripts/service_smoke.py
 

@@ -105,9 +105,17 @@ class DomainPartition:
         cls, attribute: str, terms: Sequence[Term], active_values: list[Any]
     ) -> list[DomainSubset]:
         # Atomic intervals induced by every numeric constant, then merged by
-        # term signature so the partition is minimal (Example 5.1).
+        # term signature so the partition is minimal (Example 5.1). Constants
+        # are kept exact (integral floats collapse onto the equal int, large
+        # ints never round-trip through a double) so neighbouring integer
+        # breakpoints ≥ 2^53 stay distinct.
         breakpoints = sorted(
-            {float(c) for term in terms for c in term.constants() if isinstance(c, (int, float)) and not isinstance(c, bool)}
+            {
+                cls._clean_number(c)
+                for term in terms
+                for c in term.constants()
+                if isinstance(c, (int, float)) and not isinstance(c, bool)
+            }
         )
         probes: list[float] = []
         interval_labels: list[str] = []
@@ -115,16 +123,18 @@ class DomainPartition:
             probes = [0.0]
             interval_labels = ["(-inf, +inf)"]
         else:
-            spread = max(breakpoints[-1] - breakpoints[0], 1.0)
+            spread = max(breakpoints[-1] - breakpoints[0], 1)
             probes.append(breakpoints[0] - spread)
-            interval_labels.append(f"(-inf, {breakpoints[0]:g})")
+            interval_labels.append(f"(-inf, {cls._label(breakpoints[0])})")
             for i, point in enumerate(breakpoints):
                 probes.append(point)
-                interval_labels.append(f"[{point:g}]")
+                interval_labels.append(f"[{cls._label(point)}]")
                 upper = breakpoints[i + 1] if i + 1 < len(breakpoints) else point + spread
-                probes.append((point + upper) / 2.0 if i + 1 < len(breakpoints) else point + spread)
+                probes.append(cls._midpoint(point, upper) if i + 1 < len(breakpoints) else point + spread)
                 interval_labels.append(
-                    f"({point:g}, {upper:g})" if i + 1 < len(breakpoints) else f"({point:g}, +inf)"
+                    f"({cls._label(point)}, {cls._label(upper)})"
+                    if i + 1 < len(breakpoints)
+                    else f"({cls._label(point)}, +inf)"
                 )
 
         groups: dict[tuple[bool, ...], dict[str, list[Any]]] = {}
@@ -141,7 +151,7 @@ class DomainPartition:
             bucket = groups.setdefault(signature, {"labels": [], "synth": [], "active": []})
             if signature not in order:
                 order.append(signature)
-            bucket["active"].append(cls._clean_number(float(value)))
+            bucket["active"].append(cls._clean_number(value))
 
         subsets: list[DomainSubset] = []
         for index, signature in enumerate(order):
@@ -154,10 +164,46 @@ class DomainPartition:
         return subsets
 
     @staticmethod
-    def _clean_number(value: float) -> Any:
-        if float(value).is_integer():
+    def _clean_number(value: Any) -> Any:
+        """Canonical exact form of a numeric value (no float() round-trip).
+
+        Integral floats collapse onto the exactly-equal int; ints — including
+        those ≥ 2^53, which ``float(value)`` would corrupt — pass through
+        unchanged, so a domain-subset representative written back into a
+        materialized database is always the exact active-domain value.
+        """
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
             return int(value)
-        return float(value)
+        return value
+
+    @staticmethod
+    def _label(value: Any) -> str:
+        """Exact interval-boundary rendering for subset descriptions.
+
+        Integers print exactly ("{:g}" would show 2^53 and 2^53 + 1 as the
+        same '9.0072e+15', giving distinct subsets identical user-facing
+        labels); floats keep the compact "{:g}" form.
+        """
+        if isinstance(value, int):
+            return str(value)
+        return f"{value:g}"
+
+    @staticmethod
+    def _midpoint(low: Any, high: Any) -> Any:
+        """A probe value strictly between two breakpoints (exact for ints).
+
+        ``(low + high) / 2.0`` on huge integers rounds to a double and can
+        land *on* a breakpoint; the integer midpoint stays exact. For
+        adjacent integers the open interval contains no integers at all, so
+        the (collapsing) float midpoint merely merges the empty interval with
+        its lower breakpoint's signature group — which is harmless, since
+        subsets are keyed by term signature.
+        """
+        if isinstance(low, int) and isinstance(high, int) and high - low > 1:
+            return low + (high - low) // 2
+        return (low + high) / 2.0
 
     @classmethod
     def _build_categorical_subsets(

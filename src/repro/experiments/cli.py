@@ -1,10 +1,21 @@
 """Command-line entry point for regenerating the paper's tables and studies.
 
-Installed as the ``qfe-experiments`` console script::
+Installed as the ``qfe-experiments`` console script (with a
+``repro-experiments`` alias)::
 
     qfe-experiments list
     qfe-experiments table1 --scale 0.12
     qfe-experiments all --scale 0.12 --output results.txt
+
+The ``scenarios`` experiment runs the scenario engine's scale sweep instead
+of a paper table: it generates the named scenarios at every requested scale,
+cross-checks every generated query against the SQLite oracle, runs each
+scenario end to end on the serial and process-pool backends (canonical
+transcripts must be bit-identical), and records the per-scale trajectory
+into ``benchmarks/BENCH_scenarios.json``::
+
+    repro-experiments scenarios --seed 7 --scales 0.1,0.5,1.0
+    repro-experiments scenarios --scenarios mixed --scales 0.05 --workers 4
 """
 
 from __future__ import annotations
@@ -49,8 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "list"],
-        help="which experiment to run ('all' runs everything, 'list' shows the options)",
+        choices=sorted(_EXPERIMENTS) + ["scenarios", "all", "list"],
+        help="which experiment to run ('all' runs every paper table/study, "
+             "'list' shows the options, 'scenarios' sweeps generated "
+             "scenarios across scale factors)",
     )
     parser.add_argument(
         "--scale",
@@ -81,7 +94,106 @@ def build_parser() -> argparse.ArgumentParser:
              "experiment runs (rounds, deltas, choices, timings) as one JSON "
              "array to this file",
     )
+    scenario_group = parser.add_argument_group(
+        "scenario sweep", "options for the 'scenarios' experiment"
+    )
+    scenario_group.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="scenario generator seed (default: the library's base seed)",
+    )
+    scenario_group.add_argument(
+        "--scales",
+        type=str,
+        default="0.1,0.5,1.0",
+        metavar="S1,S2,...",
+        help="comma-separated scale factors to sweep (default 0.1,0.5,1.0)",
+    )
+    scenario_group.add_argument(
+        "--scenarios",
+        type=str,
+        default=None,
+        metavar="NAME1,NAME2,...",
+        help="comma-separated scenario presets to sweep (default: the whole catalog)",
+    )
+    scenario_group.add_argument(
+        "--candidates",
+        type=nonnegative_int,
+        default=8,
+        help="candidate queries per scenario session (default 8)",
+    )
+    scenario_group.add_argument(
+        "--bench-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="where to write the per-scale trajectory JSON "
+             "(default benchmarks/BENCH_scenarios.json; 'none' disables)",
+    )
     return parser
+
+
+def _parse_scales(text: str) -> list[float]:
+    import math
+
+    try:
+        scales = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"--scales must be a comma-separated float list, got {text!r}")
+    # Note not(> 0), not (<= 0): NaN fails every comparison, so 'nan' would
+    # otherwise sail through and detonate deep inside the generator.
+    if not scales or any(not (scale > 0) or math.isinf(scale) for scale in scales):
+        raise SystemExit(
+            f"--scales must name at least one positive finite scale, got {text!r}"
+        )
+    return scales
+
+
+def _run_scenarios(args) -> int:
+    from repro.scenarios.sweep import DEFAULT_BENCH_PATH, run_sweep, sweep_table
+
+    if args.bench_out is None:
+        bench_out = DEFAULT_BENCH_PATH
+    elif args.bench_out.lower() == "none":
+        bench_out = None
+    else:
+        bench_out = args.bench_out
+    names = (
+        [part.strip() for part in args.scenarios.split(",") if part.strip()]
+        if args.scenarios
+        else None
+    )
+    if names:
+        # Resolve preset names up front so a typo is a clean usage error, not
+        # a traceback (and internal engine errors are never masked as one).
+        from repro.scenarios.catalog import get_scenario
+
+        for name in names:
+            try:
+                get_scenario(name)
+            except KeyError as exc:
+                raise SystemExit(f"error: {exc.args[0]}")
+    # 0/1 workers skips the pooled leg entirely; default is a 2-worker pool
+    # so every sweep point also proves serial-vs-pooled transcript identity.
+    workers = 2 if args.workers is None else args.workers
+    payload = run_sweep(
+        names,
+        _parse_scales(args.scales),
+        seed=args.seed,
+        workers=workers,
+        candidate_count=args.candidates,
+        out_path=bench_out,
+    )
+    text = render_tables([sweep_table(payload)])
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    if bench_out is not None:
+        print(f"\ntrajectory written to {bench_out}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -90,9 +202,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        for name in sorted(_EXPERIMENTS):
+        for name in sorted(_EXPERIMENTS) + ["scenarios"]:
             print(name)
         return 0
+
+    if args.experiment == "scenarios":
+        return _run_scenarios(args)
 
     # When given, install the worker count process-wide so every table/study
     # session's round planner picks it up; restore afterwards (library

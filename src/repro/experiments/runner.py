@@ -85,6 +85,9 @@ class ExperimentRun:
     session: SessionResult
     candidate_generation_seconds: float
     simulated_user: SimulatedUser | None = None
+    #: Canonical (timing-free) transcript, captured when ``run_session`` was
+    #: asked to; byte-identical across backends and worker counts.
+    transcript: dict | None = None
 
     @property
     def iterations(self) -> list[IterationRecord]:
@@ -174,12 +177,20 @@ def run_session(
     workload_name: str = "custom",
     scale: float = 1.0,
     workers: int | None = None,
+    backend=None,
+    capture_transcript: bool = False,
 ) -> ExperimentRun:
     """Run one QFE session over an explicit ``(D, R, target)`` triple.
 
     ``workers`` selects the round planner's execution backend (0/1 serial,
     ≥2 a process pool); when omitted, the process-wide default installed by
     :func:`set_default_workers` applies, then the config's ``workers`` field.
+    An explicit ``backend`` (an :class:`~repro.core.execution_backend.\
+ExecutionBackend`) overrides both and is *not* owned by the session — the
+    scenario sweep reuses one process pool across many sessions this way.
+    ``capture_transcript`` records the canonical (timing-free) transcript on
+    the returned run, the byte-comparable form the differential harnesses
+    use.
     """
     config = config or QFEConfig()
     if workers is None:
@@ -196,9 +207,20 @@ def run_session(
         candidate_list, generation_seconds = list(candidates), 0.0
     chosen_selector = selector if selector is not None else _selector_for(feedback, target)
     session = QFESession(
-        database, result, candidates=candidate_list, config=config, score=score, workers=workers
+        database,
+        result,
+        candidates=candidate_list,
+        config=config,
+        score=score,
+        workers=workers,
+        backend=backend,
     )
     outcome = session.run(chosen_selector)
+    canonical_transcript: dict | None = None
+    if capture_transcript:
+        from repro.service.checkpoint import session_transcript
+
+        canonical_transcript = session_transcript(session, workload=workload_name)
     if _TRANSCRIPT_SINK is not None:
         from repro.service.checkpoint import session_transcript
 
@@ -222,6 +244,7 @@ def run_session(
         session=outcome,
         candidate_generation_seconds=generation_seconds,
         simulated_user=simulated,
+        transcript=canonical_transcript,
     )
 
 
@@ -236,8 +259,14 @@ def run_workload(
     selector: ResultSelector | None = None,
     score: ScoreFunction | None = None,
     workers: int | None = None,
+    backend=None,
+    capture_transcript: bool = False,
 ) -> ExperimentRun:
-    """Run one QFE session over a named paper workload (``Q1``…``Q6``, ``U1``…``U3``)."""
+    """Run one QFE session over a named workload.
+
+    Accepts the paper workloads (``Q1``…``Q6``, ``U1``…``U3``) and generated
+    scenario workloads (``scenario:<preset>[@seed]``).
+    """
     database, result, target = build_pair(name, scale)
     run = run_session(
         database,
@@ -252,5 +281,7 @@ def run_workload(
         workload_name=name,
         scale=scale,
         workers=workers,
+        backend=backend,
+        capture_transcript=capture_transcript,
     )
     return run

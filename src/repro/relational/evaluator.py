@@ -38,6 +38,7 @@ from repro.relational.join import JoinedRelation, foreign_key_join
 from repro.relational.query import SPJQuery, SPJUQuery
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, TableSchema
+from repro.relational.types import canonical_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.relational.delta import TupleDelta
@@ -247,10 +248,10 @@ def _evaluate_union(query: SPJUQuery, database: Database, *, name: str) -> Relat
 
 
 def _normalize(row: Iterable[Any]) -> tuple:
-    return tuple(
-        float(v) if isinstance(v, (int, float)) and not isinstance(v, bool) else v
-        for v in row
-    )
+    # Exact canonical form for DISTINCT deduplication: equal numerics share a
+    # key without the precision loss of a float() round-trip (distinct
+    # integers ≥ 2^53 must never dedup onto one row).
+    return tuple(canonical_value(v) for v in row)
 
 
 def _distinct_rows(rows: list[tuple[Any, ...]]) -> list[tuple[Any, ...]]:

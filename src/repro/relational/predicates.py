@@ -27,6 +27,7 @@ from functools import lru_cache
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.exceptions import EvaluationError
+from repro.relational.types import float_literal
 
 __all__ = [
     "ComparisonOp",
@@ -78,12 +79,10 @@ class ComparisonOp(enum.Enum):
         }[self]
 
 
-def _as_comparable(value: Any) -> Any:
-    if isinstance(value, bool):
-        return value
-    if isinstance(value, (int, float)):
-        return float(value)
-    return value
+# Ordering comparisons use Python's exact cross-type ``<``/``<=`` on raw
+# values: ``int`` vs ``float`` compares true mathematical values, so there is
+# deliberately no ``float()`` normalization step — a round-trip through a
+# double would make ``2**53 + 1 > 2**53`` evaluate False.
 
 
 @dataclass(frozen=True)
@@ -116,8 +115,8 @@ class Term:
             return _safe_eq(value, self.constant)
         if self.op is ComparisonOp.NE:
             return not _safe_eq(value, self.constant)
-        left = _as_comparable(value)
-        right = _as_comparable(self.constant)
+        left = value
+        right = self.constant
         try:
             if self.op is ComparisonOp.LT:
                 return left < right
@@ -166,7 +165,9 @@ class Term:
         for constant in self.constants():
             if isinstance(constant, bool) or not isinstance(constant, (int, float)):
                 continue
-            value = float(constant)
+            # Keep integer constants exact: converting to float here would
+            # merge breakpoints at neighbouring integers ≥ 2^53.
+            value = constant
             if self.op in (ComparisonOp.LE, ComparisonOp.GT):
                 cuts.append((value, True))
             elif self.op in (ComparisonOp.LT, ComparisonOp.GE):
@@ -183,9 +184,10 @@ class Term:
     def mask_key(self) -> tuple:
         """A hashable identity for sharing column masks between candidates.
 
-        Numeric constants are normalized to ``float`` so that e.g.
-        ``salary > 60`` and ``salary > 60.0`` — which select exactly the same
-        rows — share one cached mask per columnar view.
+        Exactly-equal numeric constants are collapsed (``salary > 60`` and
+        ``salary > 60.0`` select the same rows and share one cached mask per
+        columnar view) without any precision loss: distinct large integers
+        keep distinct keys, and boolean constants never alias numeric ones.
         """
         constant = self.constant
         if self.op.is_membership:
@@ -202,10 +204,11 @@ class Term:
 
 
 def _safe_eq(left: Any, right: Any) -> bool:
-    if isinstance(left, bool) or isinstance(right, bool):
-        return left == right
-    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
-        return float(left) == float(right)
+    # Python's ``==`` already compares int/float by exact mathematical value
+    # and never equates numbers with strings; routing numerics through
+    # ``float()`` (as earlier versions did) corrupted integers ≥ 2^53, making
+    # distinct large constants compare equal. Booleans compare by their
+    # numeric value (``True == 1``), matching SQLite's integer encoding.
     return left == right
 
 
@@ -218,7 +221,10 @@ def _format_constant(constant: Any) -> str:
     if isinstance(constant, bool):
         return "TRUE" if constant else "FALSE"
     if isinstance(constant, float):
-        return f"{constant:g}"
+        # Round-trip precision: "{:g}" keeps only 6 significant digits, so a
+        # predicate printed and re-parsed (or shipped to a SQL oracle) would
+        # select different rows than the in-memory term.
+        return float_literal(constant)
     return str(constant)
 
 
@@ -353,8 +359,16 @@ def always_true() -> DNFPredicate:
 
 
 def _normalize_constant(constant: Any) -> Any:
-    if isinstance(constant, (int, float)) and not isinstance(constant, bool):
-        return float(constant)
+    # Cache-key normalization must collapse *exactly equal* numeric constants
+    # (``60`` and ``60.0`` select the same rows) without ever identifying
+    # distinct ones: an integral float collapses onto the equal int, large
+    # integers stay exact (a ``float()`` round-trip would alias 2^53 ± 1 in
+    # the term-mask cache), and bools keep their own identity so ``x = TRUE``
+    # never shares a cache entry with ``x = 1``.
+    if isinstance(constant, bool):
+        return (bool, constant)
+    if isinstance(constant, float) and constant.is_integer():
+        return int(constant)
     return constant
 
 
@@ -372,42 +386,30 @@ def _compile_membership(term: Term) -> Callable[[Any], bool]:
 
 
 def _compile_equality(term: Term) -> Callable[[Any], bool]:
+    # ``==`` on raw values is already exact across int/float (and bools
+    # compare by numeric value, as in SQLite); the old ``float()`` fast path
+    # silently equated distinct integers ≥ 2^53.
     constant = term.constant
     negate = term.op is ComparisonOp.NE
-    if isinstance(constant, (int, float)) and not isinstance(constant, bool):
-        as_float = float(constant)
 
-        def equal(value: Any) -> bool:
-            if value is None:
-                return False
-            if isinstance(value, bool):
-                hit = value == constant
-            elif isinstance(value, (int, float)):
-                hit = float(value) == as_float
-            else:
-                hit = value == constant
-            return (not hit) if negate else hit
-
-        return equal
-
-    def equal_plain(value: Any) -> bool:
+    def equal(value: Any) -> bool:
         if value is None:
             return False
         hit = value == constant
         return (not hit) if negate else hit
 
-    return equal_plain
+    return equal
 
 
 def _compile_ordering(term: Term) -> Callable[[Any], bool]:
     op = term.op
     constant = term.constant
-    right = _as_comparable(constant)
+    right = constant
 
     def compare(value: Any) -> bool:
         if value is None:
             return False
-        left = _as_comparable(value)
+        left = value
         try:
             if op is ComparisonOp.LT:
                 return left < right

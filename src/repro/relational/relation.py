@@ -18,7 +18,13 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import SchemaError, TypeMismatchError
 from repro.relational.schema import Attribute, TableSchema
-from repro.relational.types import coerce_value, infer_type, value_sort_key, values_equal
+from repro.relational.types import (
+    canonical_value,
+    coerce_value,
+    infer_type,
+    value_sort_key,
+    values_equal,
+)
 
 __all__ = ["Tuple", "Relation"]
 
@@ -55,11 +61,10 @@ class Tuple:
         return all(values_equal(a, b) for a, b in zip(self.values, other.values))
 
     def __hash__(self) -> int:
-        normalized = tuple(
-            float(v) if isinstance(v, (int, float)) and not isinstance(v, bool) else v
-            for v in self.values
-        )
-        return hash(normalized)
+        # canonical_value collapses equal numerics (1 vs 1.0) without the
+        # precision loss of a float() round-trip, keeping the hash consistent
+        # with the exact equality above even for integers ≥ 2^53.
+        return hash(tuple(canonical_value(v) for v in self.values))
 
     def __len__(self) -> int:
         return len(self.values)
@@ -289,10 +294,10 @@ class Relation:
 
     @staticmethod
     def _normalize_row(values: tuple[Any, ...]) -> tuple[Any, ...]:
-        return tuple(
-            float(v) if isinstance(v, (int, float)) and not isinstance(v, bool) else v
-            for v in values
-        )
+        # Exact canonicalization: 1 and 1.0 share one multiset key, while
+        # distinct integers ≥ 2^53 (which a float() round-trip would merge)
+        # stay distinct — bag equality must never equate different rows.
+        return tuple(canonical_value(v) for v in values)
 
     def bag_equal(self, other: "Relation") -> bool:
         """Multiset equality of rows (column order must match)."""

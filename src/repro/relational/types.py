@@ -30,6 +30,8 @@ __all__ = [
     "infer_type",
     "value_sort_key",
     "values_equal",
+    "canonical_value",
+    "float_literal",
 ]
 
 
@@ -152,14 +154,45 @@ def coerce_value(value: Any, attribute_type: AttributeType, *, nullable: bool = 
 
 
 def values_equal(left: Any, right: Any) -> bool:
-    """Value equality used by the engine (NULL equals only NULL)."""
+    """Value equality used by the engine (NULL equals only NULL).
+
+    Numeric comparisons rely on Python's exact cross-type ``==`` (an ``int``
+    and a ``float`` compare by their true mathematical values), never on a
+    ``float()`` round-trip: converting an integer ≥ 2^53 to a double loses
+    precision, which would make distinct large integers compare equal.
+    """
     if left is None or right is None:
         return left is None and right is None
-    if isinstance(left, bool) or isinstance(right, bool):
-        return left is right or left == right
-    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
-        return float(left) == float(right)
     return left == right
+
+
+def canonical_value(value: Any) -> Any:
+    """The canonical stored form of a value for hashing/multiset keys.
+
+    Equal numeric values must share one canonical representation so that bag
+    semantics treats ``1`` and ``1.0`` as the same row value. Integral finite
+    floats collapse onto the (exactly equal) ``int``; everything else —
+    including arbitrarily large integers, which a ``float()`` round-trip
+    would corrupt above 2^53 — is preserved exactly. Booleans pass through
+    unchanged (Python already hashes ``True`` consistently with ``1``).
+    """
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def float_literal(value: float) -> str:
+    """Render a float with full round-trip precision (for SQL and display).
+
+    ``repr`` emits the shortest string that parses back to the exact same
+    double, so the SQL shipped to an oracle backend selects exactly the rows
+    the in-memory evaluator selects — ``"{:g}"``-style 6-significant-digit
+    formatting silently changes constants like ``0.1234567``. Infinities are
+    rendered as the out-of-range literals SQLite evaluates to ``±Inf``.
+    """
+    if math.isinf(value):
+        return "9e999" if value > 0 else "-9e999"
+    return repr(value)
 
 
 def value_sort_key(value: Any) -> tuple:
@@ -174,5 +207,7 @@ def value_sort_key(value: Any) -> tuple:
     if isinstance(value, bool):
         return (1, int(value))
     if isinstance(value, (int, float)):
-        return (2, float(value))
+        # Exact cross-type ordering: no float() round-trip, so distinct huge
+        # integers (≥ 2^53) never collapse onto one sort position.
+        return (2, value)
     return (3, str(value))

@@ -1,0 +1,145 @@
+"""Named scenario presets and the ``scenario:`` workload-name bridge.
+
+Presets are starting points covering distinct schema/domain regimes; every
+knob is a :class:`~repro.scenarios.spec.ScenarioSpec` field, so adding a
+scenario is one entry here (or an ad-hoc spec passed straight to the
+generator/sweep).
+
+The bridge makes generated scenarios first-class workloads: any API that
+accepts a workload name — ``repro.workloads.build_pair``, the experiments
+runner, the session service's checkpoint-by-reference resume — also accepts
+``scenario:<preset>`` or ``scenario:<preset>@<seed>``.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.generator import scenario_database, scenario_queries
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "SCENARIOS",
+    "scenario_names",
+    "get_scenario",
+    "parse_scenario_name",
+    "scenario_workload",
+]
+
+#: Workload-name prefix routing a name to the scenario engine.
+SCENARIO_PREFIX = "scenario:"
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        # A 3-table foreign-key chain with a plain int/float/string mix — the
+        # "ordinary schema" baseline.
+        ScenarioSpec(
+            name="chain",
+            depth=2,
+            fanout=1,
+            root_rows=90,
+            child_row_factor=1.5,
+            int_columns=2,
+            float_columns=1,
+            str_columns=1,
+            selectivity=0.35,
+            query_count=4,
+        ),
+        # A star: one root with three children, categorical- and bool-heavy,
+        # wider fan-out with shallower joins.
+        ScenarioSpec(
+            name="star",
+            depth=1,
+            fanout=3,
+            root_rows=80,
+            child_row_factor=1.8,
+            int_columns=1,
+            float_columns=1,
+            str_columns=2,
+            bool_columns=1,
+            categories=6,
+            selectivity=0.45,
+            query_count=4,
+        ),
+        # The numeric-hardening scenario: a 7-table binary tree whose domains
+        # include integers straddling 2^53 and 7-decimal float thresholds —
+        # exactly where float() round-trips and "{:g}" rendering detonate.
+        ScenarioSpec(
+            name="mixed",
+            depth=2,
+            fanout=2,
+            root_rows=60,
+            child_row_factor=1.6,
+            int_columns=1,
+            float_columns=2,
+            str_columns=1,
+            bool_columns=1,
+            huge_ints=True,
+            float_digits=7,
+            selectivity=0.4,
+            query_count=5,
+        ),
+    )
+}
+
+
+def scenario_names() -> list[str]:
+    """All preset names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a preset by bare name (``chain``) or raise ``KeyError``."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+
+
+def parse_scenario_name(name: str) -> tuple[ScenarioSpec, int | None] | None:
+    """Parse ``scenario:<preset>[@<seed>]`` into ``(spec, seed)``.
+
+    Returns ``None`` for names without the ``scenario:`` prefix (the caller
+    falls through to the static workload registry); raises ``KeyError`` /
+    ``ValueError`` for a malformed scenario name.
+    """
+    if not name.startswith(SCENARIO_PREFIX):
+        return None
+    rest = name[len(SCENARIO_PREFIX):]
+    preset, _, seed_text = rest.partition("@")
+    spec = get_scenario(preset)
+    if not seed_text:
+        return spec, None
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        raise ValueError(
+            f"scenario seed must be an integer, got {seed_text!r} in {name!r}"
+        ) from None
+    return spec, seed
+
+
+def scenario_workload(name: str):
+    """A :class:`~repro.workloads.Workload` for a ``scenario:`` name.
+
+    The returned workload rebuilds the database deterministically from
+    ``(spec, seed, scale)`` — which is what lets the service layer checkpoint
+    scenario sessions by reference and resume them after a process kill, the
+    same way it handles the paper workloads.
+    """
+    from repro.workloads.paper_queries import Workload
+
+    parsed = parse_scenario_name(name)
+    if parsed is None:
+        raise KeyError(f"{name!r} is not a scenario workload name")
+    spec, seed = parsed
+    canonical = f"{SCENARIO_PREFIX}{spec.name}" + (f"@{seed}" if seed is not None else "")
+    queries = scenario_queries(spec, seed)
+    return Workload(
+        name=canonical,
+        dataset="scenario",
+        build_database=lambda scale=1.0: scenario_database(spec, scale, seed),
+        target_query=queries[0],
+        expected_result_size=-1,
+    )

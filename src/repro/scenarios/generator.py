@@ -1,0 +1,315 @@
+"""Deterministic scenario generation: ``(spec, scale, seed)`` → database + queries.
+
+Two independent seeded RNG streams keep the contract clean:
+
+* the **query stream** depends only on ``(spec, seed)`` — never on the scale
+  or the generated rows — so a scenario's workload queries are *scale
+  invariant*: the same SQL sweeps every scale factor, which is what makes a
+  per-scale trajectory comparable;
+* one **table stream per table** drives the row data, so every build at a
+  given ``(spec, scale, seed)`` is bit-for-bit reproducible (the property the
+  checkpoint/resume machinery relies on when it rebuilds a scenario database
+  from a workload reference).
+
+Every table plants ``spec.planted_rows`` rows with fixed attribute values
+(ints at the domain midpoint, floats at 0.5, strings at the first category,
+booleans ``True``, huge ints at exactly 2^53) and wires planted children to
+planted parents, and every generated term is chosen to admit the planted
+values — so each workload query has a non-empty result at every scale.
+
+The ``huge_ints`` domain intentionally straddles 2^53 (odd offsets included)
+and float columns carry ``float_digits``-decimal constants: the exact regime
+where a ``float()`` round-trip in the evaluator or 6-significant-digit SQL
+rendering silently diverges from the SQLite oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.synth import rng_for, scaled_count
+from repro.relational.database import Database
+from repro.relational.predicates import ComparisonOp, Conjunct, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+from repro.relational.schema import ForeignKey
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "GeneratedScenario",
+    "generate_scenario",
+    "scenario_database",
+    "scenario_queries",
+    "scenario_tables",
+]
+
+#: Exact center of the huge-integer domain: the first integer a double cannot
+#: distinguish from its successor.
+HUGE_BASE = 2**53
+#: Background huge-int values land in ``HUGE_BASE ± HUGE_SPREAD`` (odd
+#: offsets included, so neighbouring values differ below float precision).
+HUGE_SPREAD = 400
+
+
+@dataclass(frozen=True)
+class _Table:
+    """One node of the foreign-key tree."""
+
+    name: str
+    parent: str | None
+    level: int
+
+
+def scenario_tables(spec: ScenarioSpec) -> tuple[_Table, ...]:
+    """The scenario's tables in breadth-first order (root first)."""
+    tables = [_Table("t0", None, 0)]
+    frontier = [tables[0]]
+    counter = 1
+    for level in range(1, spec.depth + 1):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(spec.fanout):
+                table = _Table(f"t{counter}", parent.name, level)
+                counter += 1
+                tables.append(table)
+                next_frontier.append(table)
+        frontier = next_frontier
+    return tuple(tables)
+
+
+def _spine(spec: ScenarioSpec) -> tuple[str, ...]:
+    """The root-to-leaf path every workload query joins (first child each level)."""
+    tables = scenario_tables(spec)
+    by_name = {t.name: t for t in tables}
+    spine = [tables[0].name]
+    while True:
+        children = [t for t in tables if t.parent == spine[-1]]
+        if not children:
+            break
+        spine.append(children[0].name)
+    assert all(name in by_name for name in spine)
+    return tuple(spine)
+
+
+def _value_columns(spec: ScenarioSpec) -> list[tuple[str, str]]:
+    """``(column name, kind)`` pairs shared by every table of the scenario."""
+    columns: list[tuple[str, str]] = []
+    columns.extend((f"i{k}", "int") for k in range(spec.int_columns))
+    if spec.huge_ints:
+        columns.append(("big0", "huge"))
+    columns.extend((f"f{k}", "float") for k in range(spec.float_columns))
+    columns.extend((f"s{k}", "str") for k in range(spec.str_columns))
+    columns.extend((f"b{k}", "bool") for k in range(spec.bool_columns))
+    return columns
+
+
+def _planted_value(spec: ScenarioSpec, kind: str):
+    lo, hi = spec.int_domain
+    return {
+        "int": (lo + hi) // 2,
+        "huge": HUGE_BASE,
+        "float": 0.5,
+        "str": "cat_000",
+        "bool": True,
+    }[kind]
+
+
+def _background_value(spec: ScenarioSpec, kind: str, rng: random.Random):
+    lo, hi = spec.int_domain
+    if kind == "int":
+        return rng.randint(lo, hi)
+    if kind == "huge":
+        return HUGE_BASE + rng.randint(-HUGE_SPREAD, HUGE_SPREAD)
+    if kind == "float":
+        # A sprinkle of NULLs keeps the WHERE-clause NULL semantics honest
+        # against the SQLite oracle; planted rows never carry NULL.
+        if rng.random() < 0.03:
+            return None
+        return round(rng.random(), spec.float_digits)
+    if kind == "str":
+        return f"cat_{rng.randrange(spec.categories):03d}"
+    if kind == "bool":
+        return rng.random() < 0.5
+    raise AssertionError(kind)  # pragma: no cover
+
+
+def _row_count(spec: ScenarioSpec, level: int, scale: float) -> int:
+    full = spec.root_rows * (spec.child_row_factor**level)
+    return scaled_count(int(round(full)), scale, minimum=spec.planted_rows + 3)
+
+
+def scenario_database(
+    spec: ScenarioSpec, scale: float = 1.0, seed: int | None = None
+) -> Database:
+    """Build the scenario's database at *scale* (bit-reproducible per seed)."""
+    tables = scenario_tables(spec)
+    value_columns = _value_columns(spec)
+    counts = {t.name: _row_count(spec, t.level, scale) for t in tables}
+
+    built: dict[str, tuple[list[str], list[list]]] = {}
+    foreign_keys: list[ForeignKey] = []
+    primary_keys: dict[str, list[str]] = {}
+    for table in tables:
+        rng = rng_for(f"scenario/{spec.name}/table/{table.name}", seed)
+        columns = ["id"]
+        if table.parent is not None:
+            columns.append("parent_id")
+            foreign_keys.append(
+                ForeignKey(table.name, ("parent_id",), table.parent, ("id",))
+            )
+        columns.extend(name for name, _ in value_columns)
+        primary_keys[table.name] = ["id"]
+
+        parent_count = counts[table.parent] if table.parent is not None else 0
+        rows: list[list] = []
+        for index in range(counts[table.name]):
+            planted = index < spec.planted_rows
+            row: list = [index]
+            if table.parent is not None:
+                # Planted children reference planted parents one-to-one so the
+                # planted combination survives the spine join at every scale.
+                row.append(index if planted else rng.randrange(parent_count))
+            for _, kind in value_columns:
+                row.append(
+                    _planted_value(spec, kind) if planted else _background_value(spec, kind, rng)
+                )
+            rows.append(row)
+        built[table.name] = (columns, rows)
+
+    return Database.from_tables(built, foreign_keys=foreign_keys, primary_keys=primary_keys)
+
+
+# ------------------------------------------------------------------- queries
+#: (op, constant) choices for huge-int terms; every choice admits the planted
+#: value 2^53, and the constants deliberately include 2^53 ± 1.
+_HUGE_TERM_CHOICES = (
+    (ComparisonOp.EQ, HUGE_BASE),
+    (ComparisonOp.LE, HUGE_BASE),
+    (ComparisonOp.LT, HUGE_BASE + 1),
+    (ComparisonOp.GE, HUGE_BASE),
+    (ComparisonOp.GE, HUGE_BASE - 1),
+    (ComparisonOp.NE, HUGE_BASE + 1),
+)
+
+
+def _term_for(spec: ScenarioSpec, table: str, column: str, kind: str, rng: random.Random) -> Term:
+    attribute = f"{table}.{column}"
+    lo, hi = spec.int_domain
+    mid = (lo + hi) // 2
+    if kind == "int":
+        if rng.random() < 0.5:
+            return Term(attribute, ComparisonOp.LE, rng.randint(mid, hi))
+        return Term(attribute, ComparisonOp.GE, rng.randint(lo, mid))
+    if kind == "huge":
+        op, constant = _HUGE_TERM_CHOICES[rng.randrange(len(_HUGE_TERM_CHOICES))]
+        return Term(attribute, op, constant)
+    if kind == "float":
+        # Thresholds carry full float_digits precision: rendering them with
+        # fewer significant digits (the old "{:g}" bug) visibly shifts the
+        # selected row set. 0.5 (the planted value) always satisfies.
+        span = max(min(spec.selectivity, 0.45), 0.05)
+        if rng.random() < 0.5:
+            constant = round(rng.uniform(0.5, 0.5 + span), spec.float_digits)
+            return Term(attribute, ComparisonOp.LE, constant)
+        constant = round(rng.uniform(0.5 - span, 0.5), spec.float_digits)
+        return Term(attribute, ComparisonOp.GE, constant)
+    if kind == "str":
+        if rng.random() < 0.4:
+            other = f"cat_{rng.randrange(spec.categories):03d}"
+            return Term(attribute, ComparisonOp.IN, ("cat_000", other))
+        return Term(attribute, ComparisonOp.EQ, "cat_000")
+    if kind == "bool":
+        return Term(attribute, ComparisonOp.EQ, True)
+    raise AssertionError(kind)  # pragma: no cover
+
+
+def scenario_queries(spec: ScenarioSpec, seed: int | None = None) -> tuple[SPJQuery, ...]:
+    """The scenario's workload queries (scale-invariant; ``[0]`` is the target).
+
+    All queries share the spine tables and projection — the shape of a QFE
+    candidate set — and differ only in their DNF predicates, every one of
+    which admits the planted rows.
+    """
+    rng = rng_for(f"scenario/{spec.name}/queries", seed)
+    spine = _spine(spec)
+    value_columns = _value_columns(spec)
+    projection = [f"{spine[0]}.id"]
+    projection.extend(f"{table}.{value_columns[0][0]}" for table in spine)
+
+    term_slots = [
+        (table, column, kind) for table in spine for column, kind in value_columns
+    ]
+
+    def one_conjunct() -> Conjunct:
+        count = 1 + rng.randrange(spec.max_terms)
+        chosen: dict[str, Term] = {}
+        for _ in range(count):
+            table, column, kind = term_slots[rng.randrange(len(term_slots))]
+            term = _term_for(spec, table, column, kind, rng)
+            chosen.setdefault(term.attribute + term.op.value, term)
+        return Conjunct(tuple(chosen.values()))
+
+    queries: list[SPJQuery] = []
+    seen: set[DNFPredicate] = set()
+    attempts = 0
+    while len(queries) < spec.query_count and attempts < spec.query_count * 40:
+        attempts += 1
+        conjuncts = [one_conjunct()]
+        # Some queries get a second (also planted-satisfying) disjunct so the
+        # workload exercises real DNF, not just conjunctions.
+        if len(queries) % 3 == 1:
+            conjuncts.append(one_conjunct())
+        predicate = DNFPredicate(tuple(conjuncts))
+        if predicate in seen or predicate.is_true:
+            continue
+        seen.add(predicate)
+        queries.append(SPJQuery(list(spine), list(projection), predicate))
+    if len(queries) < spec.query_count:
+        # A spec whose predicate space is too small to yield query_count
+        # distinct predicates (e.g. a single boolean column) must fail
+        # loudly: the sweep records — and its consumers assert — the spec's
+        # promised workload size.
+        raise ValueError(
+            f"scenario {spec.name!r} could only generate {len(queries)} of "
+            f"{spec.query_count} distinct queries; enlarge the attribute mix "
+            f"or lower query_count"
+        )
+    return tuple(queries)
+
+
+@dataclass(frozen=True)
+class GeneratedScenario:
+    """One generated scenario instance: a database plus its workload queries."""
+
+    spec: ScenarioSpec
+    seed: int | None
+    scale: float
+    database: Database
+    queries: tuple[SPJQuery, ...]
+
+    @property
+    def target(self) -> SPJQuery:
+        """The workload's target query (the one a simulated user 'wants')."""
+        return self.queries[0]
+
+    @property
+    def total_rows(self) -> int:
+        """Total tuples across all tables at this scale."""
+        return self.database.total_tuples()
+
+    def rows_by_table(self) -> dict[str, int]:
+        """Per-table row counts (for reports and trajectories)."""
+        return {name: len(self.database.relation(name)) for name in self.database.table_names}
+
+
+def generate_scenario(
+    spec: ScenarioSpec, scale: float = 1.0, seed: int | None = None
+) -> GeneratedScenario:
+    """Generate the scenario's database and queries at *scale*."""
+    return GeneratedScenario(
+        spec=spec,
+        seed=seed,
+        scale=scale,
+        database=scenario_database(spec, scale, seed),
+        queries=scenario_queries(spec, seed),
+    )

@@ -1,0 +1,319 @@
+"""The scenario scale sweep: generate → verify → run → measure → record.
+
+For every requested ``(scenario, scale)`` the sweep
+
+1. **generates** the database and its scale-invariant workload queries;
+2. **verifies** every query against the SQLite differential oracle (the
+   pure-Python evaluator and an independent SQL engine must agree on every
+   result, bag-exactly — this is where numeric/type-semantics bugs detonate);
+3. **runs** one full QFE session on the serial backend and one on a shared
+   process-pool backend, and demands the canonical transcripts be
+   **bit-identical** (the PR-3/PR-4 differential contract, extended to every
+   generated scenario);
+4. **measures** the cold vs delta-derived candidate-evaluation paths over
+   the same candidate set;
+5. **records** the whole per-scale trajectory — row counts, join size,
+   session rounds, serial/pooled seconds, cold/delta seconds, transcript
+   hash — into ``benchmarks/BENCH_scenarios.json``.
+
+A transcript divergence or an oracle disagreement raises
+:class:`ScenarioDivergenceError`: the sweep is a verification harness first
+and a benchmark second.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.config import QFEConfig
+from repro.core.execution_backend import ProcessPoolBackend
+from repro.core.timing import Stopwatch
+from repro.exceptions import EvaluationError
+from repro.qbo.mutation import expand_candidate_set
+from repro.relational.columnar import ColumnarView
+from repro.relational.delta import TupleDelta
+from repro.relational.evaluator import JoinCache, evaluate_batch
+from repro.relational.join import foreign_key_join
+from repro.relational.types import AttributeType
+from repro.scenarios.catalog import SCENARIOS, get_scenario
+from repro.scenarios.generator import GeneratedScenario, generate_scenario
+from repro.sql.sqlite_backend import SQLiteBackend
+
+__all__ = [
+    "ScenarioDivergenceError",
+    "run_sweep",
+    "sweep_table",
+    "DEFAULT_BENCH_PATH",
+]
+
+#: Default output location, resolved against the working directory (the CLI
+#: and CI run from the repository root).
+DEFAULT_BENCH_PATH = Path("benchmarks") / "BENCH_scenarios.json"
+
+#: A generous Algorithm-3 budget: wall-clock truncation of the skyline
+#: enumeration is the one legitimately nondeterministic input, and it is
+#: orthogonal to everything the sweep verifies.
+_SWEEP_CONFIG = QFEConfig(delta_seconds=30.0)
+
+
+class ScenarioDivergenceError(EvaluationError):
+    """Two engines (or two backends) disagreed on a generated scenario."""
+
+
+def _point_setup(
+    generated: GeneratedScenario, candidate_count: int, *, verify_oracle: bool
+):
+    """One sweep point's shared state: join, oracle check, R, candidates.
+
+    Every workload query shares the spine tables, so the foreign-key join is
+    materialized **once** (through a :class:`JoinCache`, whose warm entry the
+    mutant verification inside :func:`expand_candidate_set` then reuses) and
+    all queries are evaluated over it in one batch — instead of paying one
+    cold join per query per check.
+
+    Returns ``(result, candidates, joined, oracle_checked or None)``.
+    """
+    database = generated.database
+    cache = JoinCache()
+    joined = cache.join_for(database, tuple(generated.target.tables))
+    batch = evaluate_batch(
+        list(generated.queries), joined, database, with_fingerprints=False, name="R"
+    )
+    oracle_checked = None
+    if verify_oracle:
+        with SQLiteBackend(database) as backend:
+            for query, ours in zip(generated.queries, batch.results):
+                theirs = backend.execute(query)
+                if not ours.bag_equal(theirs):
+                    raise ScenarioDivergenceError(
+                        f"scenario {generated.spec.name!r} @ scale {generated.scale}: "
+                        f"evaluator and SQLite disagree on {query}"
+                    )
+        oracle_checked = len(generated.queries)
+    result = batch.results[0]  # the target's result, R
+    candidates = expand_candidate_set(
+        database, result, list(generated.queries), candidate_count, join_cache=cache
+    )
+    return result, candidates, joined, oracle_checked
+
+
+def _candidates_for(generated: GeneratedScenario, candidate_count: int):
+    """The session's candidate set: the workload queries padded with mutants."""
+    result, candidates, _, _ = _point_setup(
+        generated, candidate_count, verify_oracle=False
+    )
+    return result, candidates
+
+
+def _numeric_patch_column(relation):
+    for attribute in relation.schema.attributes:
+        if attribute.name in ("id", "parent_id"):
+            continue
+        if attribute.type in (AttributeType.INTEGER, AttributeType.FLOAT):
+            return attribute.name
+    return None
+
+
+def _measure_eval_paths(generated: GeneratedScenario, candidates, joined) -> dict:
+    """Time cold-rebuild vs delta-derived candidate evaluation (one pass each).
+
+    Mirrors the ``delta-derive`` component benchmark at scenario scale: the
+    cold path pays a fresh foreign-key join, columnar view and every term
+    mask; the delta path patches the (already-materialized) warm base join
+    through a two-tuple update :class:`TupleDelta` and shares untouched
+    columns and masks.
+    """
+    database = generated.database
+    tables = tuple(generated.target.tables)
+    joined.columnar()
+    evaluate_batch(candidates, joined, database)  # warm masks, as a session would
+
+    derived_db = database.copy()
+    root = tables[0]
+    relation = derived_db.relation(root)
+    column = _numeric_patch_column(relation)
+    delta = TupleDelta()
+    if column is not None:
+        index = relation.schema.index_of(column)
+        for target in relation.tuples[: min(2, len(relation))]:
+            values = list(target.values)
+            values[index] = (values[index] or 0) + 1
+            relation.replace_tuple(target.tuple_id, values)
+            delta.record_update(root, target.tuple_id, relation.tuple_by_id(target.tuple_id).values)
+
+    watch = Stopwatch()
+    cold_joined = foreign_key_join(derived_db, tables)
+    evaluate_batch(candidates, cold_joined, derived_db, columnar=ColumnarView(cold_joined.relation))
+    cold_seconds = watch.restart()
+
+    derived = joined.apply_delta(delta, database)
+    evaluate_batch(candidates, derived, derived_db)
+    delta_seconds = watch.elapsed()
+    return {
+        "cold_eval_seconds": cold_seconds,
+        "delta_eval_seconds": delta_seconds,
+        "delta_eval_speedup": (cold_seconds / delta_seconds) if delta_seconds > 0 else None,
+        "join_rows": len(joined),
+    }
+
+
+def _session_point(generated, result, candidates, *, workers, backend, workload_name):
+    """Run one session; returns (wall seconds, canonical transcript JSON, run)."""
+    from repro.experiments.runner import run_session
+    from repro.service.checkpoint import transcript_json
+
+    watch = Stopwatch()
+    run = run_session(
+        generated.database,
+        result,
+        generated.target,
+        candidates=candidates,
+        config=_SWEEP_CONFIG,
+        feedback="worst",
+        workload_name=workload_name,
+        scale=generated.scale,
+        workers=workers,
+        backend=backend,
+        capture_transcript=True,
+    )
+    seconds = watch.elapsed()
+    return seconds, transcript_json(run.transcript), run
+
+
+def run_sweep(
+    scenarios: Sequence[str] | None = None,
+    scales: Sequence[float] = (0.1, 0.5, 1.0),
+    *,
+    seed: int | None = None,
+    workers: int = 2,
+    candidate_count: int = 8,
+    verify_oracle: bool = True,
+    measure_eval_paths: bool = True,
+    out_path: str | os.PathLike | None = DEFAULT_BENCH_PATH,
+) -> dict:
+    """Sweep the named scenarios (default: the full catalog) across *scales*.
+
+    Returns the trajectory payload; also writes it as JSON to *out_path*
+    unless that is ``None``. ``workers >= 2`` runs the pooled leg of every
+    point over **one shared process pool** (spin-up paid once, as a service
+    would); ``workers`` of 0/1 skips the pooled leg.
+    """
+    names = list(scenarios) if scenarios else sorted(SCENARIOS)
+    specs = [get_scenario(name) for name in names]
+    scales = [float(s) for s in scales]
+
+    pool = ProcessPoolBackend(workers) if workers >= 2 else None
+    payload: dict = {
+        "seed": seed,
+        "workers": workers,
+        "scales": scales,
+        "candidate_count": candidate_count,
+        "scenarios": {},
+    }
+    try:
+        for spec in specs:
+            trajectory = []
+            for scale in scales:
+                generated = generate_scenario(spec, scale, seed)
+                workload_name = f"scenario:{spec.name}" + (
+                    f"@{seed}" if seed is not None else ""
+                )
+                point: dict = {
+                    "scale": scale,
+                    "rows_by_table": generated.rows_by_table(),
+                    "total_rows": generated.total_rows,
+                    "query_count": len(generated.queries),
+                }
+                result, candidates, joined, oracle_checked = _point_setup(
+                    generated, candidate_count, verify_oracle=verify_oracle
+                )
+                if oracle_checked is not None:
+                    point["oracle_checked_queries"] = oracle_checked
+                point["result_rows"] = len(result)
+                point["candidates"] = len(candidates)
+
+                serial_seconds, serial_json, serial_run = _session_point(
+                    generated, result, candidates,
+                    workers=0, backend=None, workload_name=workload_name,
+                )
+                point["iterations"] = serial_run.iteration_count
+                point["converged"] = serial_run.session.converged
+                point["serial_seconds"] = serial_seconds
+                point["transcript_sha256"] = hashlib.sha256(
+                    serial_json.encode("utf-8")
+                ).hexdigest()
+
+                if pool is not None:
+                    pooled_seconds, pooled_json, _ = _session_point(
+                        generated, result, candidates,
+                        workers=None, backend=pool, workload_name=workload_name,
+                    )
+                    if pooled_json != serial_json:
+                        raise ScenarioDivergenceError(
+                            f"scenario {spec.name!r} @ scale {scale}: pooled transcript "
+                            f"diverged from the serial oracle ({workers} workers)"
+                        )
+                    point["pooled_seconds"] = pooled_seconds
+                    point["pooled_workers"] = workers
+                    point["pooled_speedup"] = (
+                        serial_seconds / pooled_seconds if pooled_seconds > 0 else None
+                    )
+                    point["transcripts_identical"] = True
+
+                if measure_eval_paths:
+                    point.update(_measure_eval_paths(generated, candidates, joined))
+                trajectory.append(point)
+            payload["scenarios"][spec.name] = {
+                "spec": spec.to_json(),
+                "trajectory": trajectory,
+            }
+    finally:
+        if pool is not None:
+            pool.close()
+
+    if out_path is not None:
+        path = Path(out_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    return payload
+
+
+def sweep_table(payload: dict):
+    """Render a sweep payload as an :class:`ExperimentTable` for the CLI."""
+    from repro.experiments.report import ExperimentTable
+
+    table = ExperimentTable(
+        title="Scenario scale sweep",
+        columns=[
+            "scenario", "scale", "rows", "join rows", "|R|", "cands", "iters",
+            "serial s", "pooled s", "cold s", "delta s", "identical",
+        ],
+        caption=(
+            "Per-scale trajectory of generated scenarios: full QFE sessions on the "
+            "serial and process-pool backends (canonical transcripts bit-identical), "
+            "plus cold vs delta-derived candidate evaluation."
+        ),
+    )
+    for name, entry in sorted(payload["scenarios"].items()):
+        for point in entry["trajectory"]:
+            table.add_row(
+                name,
+                point["scale"],
+                point["total_rows"],
+                point.get("join_rows", "-"),
+                point["result_rows"],
+                point["candidates"],
+                point["iterations"],
+                round(point["serial_seconds"], 4),
+                round(point["pooled_seconds"], 4) if "pooled_seconds" in point else "-",
+                round(point["cold_eval_seconds"], 4) if "cold_eval_seconds" in point else "-",
+                round(point["delta_eval_seconds"], 4) if "delta_eval_seconds" in point else "-",
+                point.get("transcripts_identical", "-"),
+            )
+    return table

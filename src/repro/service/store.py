@@ -167,28 +167,37 @@ class FileSessionStore(SessionStore):
     def _path(self, session_id: str) -> Path:
         return self.directory / f"{_check_session_id(session_id)}{CHECKPOINT_SUFFIX}"
 
-    def _entries(self) -> list[tuple[float, Path]]:
+    def _entries(self) -> list[tuple[int, str, Path]]:
+        """Checkpoints ordered least-recently-used first.
+
+        Recency is ``st_mtime_ns``: the float ``st_mtime`` quantizes to
+        ~100 ns at current epochs (and to whole seconds on coarse
+        filesystems), so checkpoints written close together tied and the sort
+        fell through to ``Path`` comparison — which could evict the *newest*
+        session. Exact ties (same nanosecond) break on the file name, which
+        is stable rather than recency-correct but at least deterministic.
+        """
         entries = []
         for path in self.directory.glob(f"*{CHECKPOINT_SUFFIX}"):
             try:
-                entries.append((path.stat().st_mtime, path))
+                entries.append((path.stat().st_mtime_ns, path.name, path))
             except OSError:  # pragma: no cover - raced with a delete
                 continue
-        entries.sort()
+        entries.sort(key=lambda entry: entry[:2])
         return entries
 
     def _expire(self) -> None:
         entries = self._entries()
         if self.ttl_seconds is not None:
-            deadline = self._clock() - self.ttl_seconds
-            for mtime, path in entries:
-                if mtime <= deadline:
+            deadline_ns = int((self._clock() - self.ttl_seconds) * 1_000_000_000)
+            for mtime_ns, _, path in entries:
+                if mtime_ns <= deadline_ns:
                     path.unlink(missing_ok=True)
-            entries = [(m, p) for m, p in entries if m > deadline]
+            entries = [entry for entry in entries if entry[0] > deadline_ns]
         if self.max_sessions is not None:
             overflow = len(entries) - self.max_sessions
             if overflow > 0:  # a negative slice bound would evict from the front
-                for _, path in entries[:overflow]:
+                for _, _, path in entries[:overflow]:
                     path.unlink(missing_ok=True)
 
     def put(self, session_id: str, blob: bytes) -> None:

@@ -16,12 +16,20 @@ from typing import Any, Iterable
 from repro.relational.predicates import ComparisonOp, Conjunct, DNFPredicate, Term
 from repro.relational.query import SPJQuery, SPJUQuery
 from repro.relational.schema import DatabaseSchema, qualify
+from repro.relational.types import float_literal
 
 __all__ = ["render_query", "render_union", "render_predicate", "render_value"]
 
 
 def render_value(value: Any) -> str:
-    """Render a constant as a SQL literal."""
+    """Render a constant as a SQL literal.
+
+    Floats are rendered with full ``repr`` round-trip precision: SQLite
+    parses the literal back to the bit-identical double, so the SQL sent to
+    the oracle backend selects exactly the rows the in-memory evaluator
+    selects. (``"{:g}"`` — 6 significant digits — silently rewrote constants
+    like ``0.1234567`` to ``0.123457``, making the two engines disagree.)
+    """
     if value is None:
         return "NULL"
     if isinstance(value, bool):
@@ -30,7 +38,7 @@ def render_value(value: Any) -> str:
         escaped = value.replace("'", "''")
         return f"'{escaped}'"
     if isinstance(value, float):
-        return f"{value:g}"
+        return float_literal(value)
     return str(value)
 
 

@@ -173,11 +173,25 @@ WORKLOADS: dict[str, Workload] = _registry()
 
 
 def workload(name: str) -> Workload:
-    """Look up a workload by name (``Q1``–``Q6``, ``U1``–``U3``)."""
+    """Look up a workload by name.
+
+    Accepts the paper workloads (``Q1``–``Q6``, ``U1``–``U3``) and generated
+    scenario workloads (``scenario:<preset>`` or ``scenario:<preset>@<seed>``,
+    built on demand by the scenario engine — see :mod:`repro.scenarios`).
+    Scenario workloads behave exactly like paper ones everywhere a name is
+    accepted: the experiments runner, checkpoints-by-reference, the service.
+    """
+    if name.startswith("scenario:"):
+        from repro.scenarios.catalog import scenario_workload
+
+        return scenario_workload(name)
     try:
         return WORKLOADS[name]
     except KeyError:
-        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)} "
+            f"plus scenario:<preset>[@seed]"
+        ) from None
 
 
 def build_pair(name: str, scale: float = 1.0) -> tuple[Database, Relation, SPJQuery]:

@@ -10,6 +10,7 @@ class TestCLI:
         assert main(["list"]) == 0
         output = capsys.readouterr().out
         assert "table1" in output and "user-study" in output
+        assert "scenarios" in output
 
     def test_parser_rejects_unknown_experiment(self):
         parser = build_parser()
@@ -78,6 +79,41 @@ class TestCLI:
         assert "execution_seconds" in entry["transcript"]["iterations"][0]
         # The sink is restored after the run: later sessions are not recorded.
         assert runner._TRANSCRIPT_SINK is None
+
+    def test_scenarios_flags_parse(self):
+        args = build_parser().parse_args(
+            ["scenarios", "--seed", "7", "--scales", "0.1,0.5,1.0",
+             "--scenarios", "mixed,chain", "--bench-out", "none"]
+        )
+        assert args.seed == 7
+        assert args.scales == "0.1,0.5,1.0"
+        assert args.scenarios == "mixed,chain"
+
+    def test_scenarios_rejects_bad_scales(self, capsys):
+        for bad in ("abc", "-0.5", "0", "nan", "inf", ""):
+            with pytest.raises(SystemExit):
+                main(["scenarios", "--scales", bad])
+
+    def test_scenarios_rejects_unknown_preset_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenarios", "--scenarios", "mxied", "--scales", "0.05",
+                  "--workers", "0", "--bench-out", "none"])
+        assert "unknown scenario" in str(excinfo.value)
+
+    def test_scenarios_runs_a_tiny_sweep(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_scenarios.json"
+        assert main(
+            ["scenarios", "--seed", "3", "--scales", "0.05",
+             "--scenarios", "chain", "--workers", "0",
+             "--candidates", "5", "--bench-out", str(bench)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Scenario scale sweep" in out
+        assert "chain" in out
+        import json
+
+        payload = json.loads(bench.read_text())
+        assert payload["scenarios"]["chain"]["trajectory"][0]["scale"] == 0.05
 
     @pytest.mark.slow
     def test_run_single_table_to_stdout(self, capsys):

@@ -104,11 +104,14 @@ class TestCompiledTerms:
         assert Term("T.a", ComparisonOp.GT, 60).mask_key() != Term(
             "T.a", ComparisonOp.GE, 60
         ).mask_key()
-        # Python's bool is an int (True == 1.0), so EQ True and EQ 1.0 alias
-        # to one cache key — harmless, because ``_safe_eq`` gives them
-        # identical row-level semantics for every possible value.
-        assert Term("T.a", ComparisonOp.EQ, True).mask_key() == Term(
+        # Boolean constants never alias numeric ones in cache keys (even
+        # though ``_safe_eq`` gives EQ True and EQ 1.0 identical row-level
+        # semantics today): cache identity must stay conservative.
+        assert Term("T.a", ComparisonOp.EQ, True).mask_key() != Term(
             "T.a", ComparisonOp.EQ, 1.0
+        ).mask_key()
+        assert Term("T.a", ComparisonOp.EQ, True).mask_key() != Term(
+            "T.a", ComparisonOp.EQ, 1
         ).mask_key()
         for value in [None, True, False, 0, 1, 1.0, 2, "1", ""]:
             assert Term("T.a", ComparisonOp.EQ, True).evaluate_value(value) == Term(

@@ -1,0 +1,158 @@
+"""Cross-engine numeric/type-semantics consistency.
+
+One property drives four implementations of the same comparison — the
+row-at-a-time interpreter (``Term.evaluate_value``), the compiled term
+closures, the columnar batch masks, and the SQLite oracle — over mixed
+``True/1/1.0`` domains and integers straddling 2^53, and demands they all
+agree. This is the contract the scenario engine leans on: a single wrong
+comparison silently corrupts partition signatures and with them the whole
+QFE interaction transcript.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.relational.columnar import ColumnarView, pack_bools
+from repro.relational.database import Database
+from repro.relational.evaluator import evaluate
+from repro.relational.predicates import ComparisonOp, DNFPredicate, Term, compile_term
+from repro.relational.query import SPJQuery
+from repro.sql.sqlite_backend import SQLiteBackend
+
+_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+BIG = 2**53
+
+# Per-column value pools (mixed representations of the same numbers, plus the
+# 2^53 neighbourhood; columns stay type-homogeneous as the engine requires).
+_INT_VALUES = [0, 1, 2, -1, BIG - 1, BIG, BIG + 1]
+_FLOAT_VALUES = [0.0, 1.0, 0.5, 2.0, -1.0, 0.1234567, float(BIG), None]
+_BOOL_VALUES = [True, False]
+
+# Constants deliberately cross type boundaries: bools against numeric
+# columns, ints against floats, floats against ints, 2^53 ± 1.
+_CONSTANTS = [True, False, 0, 1, 1.0, 0.0, 2, 0.5, 0.1234567, BIG, BIG + 1, float(BIG)]
+
+_SCALAR_OPS = [
+    ComparisonOp.EQ,
+    ComparisonOp.NE,
+    ComparisonOp.LT,
+    ComparisonOp.LE,
+    ComparisonOp.GT,
+    ComparisonOp.GE,
+]
+
+_row = st.tuples(
+    st.sampled_from(_INT_VALUES),
+    st.sampled_from(_FLOAT_VALUES),
+    st.sampled_from(_BOOL_VALUES),
+)
+_term_spec = st.tuples(
+    st.sampled_from(["i", "f", "b"]),
+    st.sampled_from(_SCALAR_OPS + [ComparisonOp.IN, ComparisonOp.NOT_IN]),
+    st.sampled_from(_CONSTANTS),
+    st.sampled_from(_CONSTANTS),  # second member for IN/NOT IN
+)
+
+
+def _database(rows) -> Database:
+    return Database.from_tables({"T": (["i", "f", "b"], [list(r) for r in rows])})
+
+
+class TestFourPathConsistency:
+    @_SETTINGS
+    @given(rows=st.lists(_row, min_size=1, max_size=10), spec=_term_spec)
+    def test_interpreter_compiled_mask_and_sqlite_agree(self, rows, spec):
+        column, op, constant, second = spec
+        if op.is_membership:
+            constant = (constant, second)
+        qualified = Term(f"T.{column}", op, constant)
+        database = _database(rows)
+        relation = database.relation("T")
+        values = relation.column(column)
+
+        # Path 1 vs 2: interpreter vs compiled closure, value by value.
+        compiled = compile_term(qualified)
+        interpreted = [qualified.evaluate_value(v) for v in values]
+        assert [compiled(v) for v in values] == interpreted
+
+        # Path 3: the columnar term mask, bit for bit.
+        bare = Term(column, op, constant)
+        view = ColumnarView(relation)
+        assert view.term_mask(bare) == pack_bools(interpreted)
+
+        # Path 4: the SQLite oracle on the rendered SQL.
+        query = SPJQuery(["T"], ["T.i", "T.f", "T.b"], DNFPredicate.from_terms([qualified]))
+        ours = evaluate(query, database)
+        with SQLiteBackend(database) as backend:
+            theirs = backend.execute(query)
+        assert ours.bag_equal(theirs), (op, constant)
+
+    @_SETTINGS
+    @given(rows=st.lists(_row, min_size=1, max_size=8))
+    def test_distinct_dedup_agrees_with_sqlite(self, rows):
+        database = _database(rows)
+        query = SPJQuery(["T"], ["T.i", "T.b"], distinct=True)
+        ours = evaluate(query, database)
+        with SQLiteBackend(database) as backend:
+            theirs = backend.execute(query)
+        assert ours.set_equal(theirs)
+
+
+class TestCacheKeyAliasing:
+    """Bools must never alias numerics (and big ints never each other)."""
+
+    @pytest.mark.parametrize("numeric", [1, 1.0, 0, 0.0])
+    def test_bool_constants_never_share_keys_with_numerics(self, numeric):
+        for op in _SCALAR_OPS:
+            bool_key = Term("a", op, bool(numeric)).mask_key()
+            assert bool_key != Term("a", op, numeric).mask_key()
+
+    def test_equal_int_float_constants_share_one_key(self):
+        assert Term("a", ComparisonOp.LE, 60).mask_key() == Term(
+            "a", ComparisonOp.LE, 60.0
+        ).mask_key()
+
+    def test_big_int_neighbours_never_collide(self):
+        keys = {Term("a", ComparisonOp.EQ, BIG + d).mask_key() for d in (-1, 0, 1)}
+        assert len(keys) == 3
+
+    def test_membership_keys_are_exact_too(self):
+        left = Term("a", ComparisonOp.IN, (BIG, 1)).mask_key()
+        right = Term("a", ComparisonOp.IN, (BIG + 1, 1)).mask_key()
+        assert left != right
+        assert Term("a", ComparisonOp.IN, (1, True)).mask_key() != Term(
+            "a", ComparisonOp.IN, (1, 1)
+        ).mask_key()
+
+
+class TestTupleClassExactness:
+    """Domain partitioning must keep huge-int representatives exact."""
+
+    def test_neighbouring_breakpoints_partition_separately(self):
+        from repro.core.tuple_class import DomainPartition
+
+        terms = [Term("T.a", ComparisonOp.LE, BIG), Term("T.a", ComparisonOp.LE, BIG + 1)]
+        partition = DomainPartition("T.a", terms, [BIG - 1, BIG, BIG + 1])
+        assert partition.subset_of_value(BIG) != partition.subset_of_value(BIG + 1)
+
+    def test_representatives_preserve_exact_active_values(self):
+        from repro.core.tuple_class import DomainPartition
+
+        partition = DomainPartition(
+            "T.a", [Term("T.a", ComparisonOp.GE, BIG)], [BIG - 1, BIG + 1]
+        )
+        representatives = {
+            value for subset in partition.subsets for value in subset.representatives
+        }
+        # The odd value 2^53 + 1 — unrepresentable as a double — must appear
+        # exactly; a float() round-trip would silently rewrite it to 2^53.
+        assert BIG + 1 in representatives
+        assert BIG - 1 in representatives

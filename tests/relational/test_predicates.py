@@ -153,3 +153,70 @@ class TestDNFPredicate:
         left = DNFPredicate.from_terms([Term("a", ComparisonOp.EQ, 1)])
         right = DNFPredicate.from_terms([Term("a", ComparisonOp.EQ, 2)])
         assert left != right
+
+
+class TestLargeIntegerExactness:
+    """Regression suite for the 2^53 ± 1 float() round-trip corruption.
+
+    ``float(2**53) == float(2**53 + 1)``, so any comparison or cache key that
+    normalized integer constants through ``float()`` silently equated two
+    distinct constants — corrupting partition signatures downstream.
+    """
+
+    BIG = 2**53
+
+    def test_equality_is_exact_at_2_pow_53(self):
+        term = Term("a", ComparisonOp.EQ, self.BIG)
+        assert term.evaluate_value(self.BIG)
+        assert not term.evaluate_value(self.BIG + 1)
+        assert not term.evaluate_value(self.BIG - 1)
+        neighbour = Term("a", ComparisonOp.EQ, self.BIG + 1)
+        assert neighbour.evaluate_value(self.BIG + 1)
+        assert not neighbour.evaluate_value(self.BIG)
+
+    def test_ordering_is_exact_at_2_pow_53(self):
+        # float-normalized: 2^53 + 1 > 2^53 evaluated False.
+        assert Term("a", ComparisonOp.GT, self.BIG).evaluate_value(self.BIG + 1)
+        assert not Term("a", ComparisonOp.GT, self.BIG).evaluate_value(self.BIG)
+        assert Term("a", ComparisonOp.LT, self.BIG + 1).evaluate_value(self.BIG)
+        assert Term("a", ComparisonOp.LE, self.BIG).evaluate_value(self.BIG)
+        assert not Term("a", ComparisonOp.LE, self.BIG).evaluate_value(self.BIG + 1)
+
+    def test_membership_is_exact_at_2_pow_53(self):
+        term = Term("a", ComparisonOp.IN, (self.BIG, self.BIG + 2))
+        assert term.evaluate_value(self.BIG)
+        assert not term.evaluate_value(self.BIG + 1)
+        assert Term("a", ComparisonOp.NOT_IN, (self.BIG,)).evaluate_value(self.BIG + 1)
+
+    def test_compiled_terms_agree_with_interpreter(self):
+        from repro.relational.predicates import compile_term
+
+        values = [self.BIG - 1, self.BIG, self.BIG + 1, float(self.BIG), None]
+        for op in ComparisonOp:
+            constant = (self.BIG, self.BIG + 1) if op.is_membership else self.BIG
+            term = Term("a", op, constant)
+            compiled = compile_term(term)
+            for value in values:
+                assert compiled(value) == term.evaluate_value(value), (op, value)
+
+    def test_mask_keys_distinguish_neighbouring_big_ints(self):
+        # Distinct constants must never share a term-mask cache entry.
+        low = Term("a", ComparisonOp.EQ, self.BIG).mask_key()
+        high = Term("a", ComparisonOp.EQ, self.BIG + 1).mask_key()
+        assert low != high
+        # ...while exactly-equal int/float constants still share one.
+        assert Term("a", ComparisonOp.EQ, self.BIG).mask_key() == Term(
+            "a", ComparisonOp.EQ, float(self.BIG)
+        ).mask_key()
+
+    def test_float_constants_keep_exact_python_semantics(self):
+        # float(2^53 + 1) literally IS 2^53, so an EQ against it matches the
+        # int 2^53 (exact mathematical equality) and not 2^53 + 1.
+        term = Term("a", ComparisonOp.EQ, float(self.BIG + 1))
+        assert term.evaluate_value(self.BIG)
+        assert not term.evaluate_value(self.BIG + 1)
+
+    def test_numeric_breakpoints_stay_distinct(self):
+        low = Term("a", ComparisonOp.LE, self.BIG).numeric_breakpoints()
+        high = Term("a", ComparisonOp.LE, self.BIG + 1).numeric_breakpoints()
+        assert {v for v, _ in low} != {v for v, _ in high}

@@ -1,0 +1,176 @@
+"""Unit tests for the scenario engine: spec validation, generation, catalog."""
+
+import pytest
+
+from repro.relational.evaluator import evaluate
+from repro.scenarios import (
+    SCENARIOS,
+    ScenarioSpec,
+    generate_scenario,
+    parse_scenario_name,
+    scenario_names,
+    scenario_workload,
+)
+from repro.scenarios.generator import HUGE_BASE, scenario_queries, scenario_tables
+from repro.sql.sqlite_backend import cross_check
+from repro.workloads import build_pair, workload
+
+_SEED = 1234
+
+
+class TestSpec:
+    def test_table_count_follows_depth_and_fanout(self):
+        assert ScenarioSpec(name="x", depth=0, fanout=3).table_count == 1
+        assert ScenarioSpec(name="x", depth=1, fanout=3).table_count == 4
+        assert ScenarioSpec(name="x", depth=2, fanout=2).table_count == 7
+
+    def test_validation_rejects_degenerate_knobs(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", depth=-1)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", fanout=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", selectivity=1.5)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", query_count=1)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", int_domain=(5, 5))
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x", int_columns=0, float_columns=0, str_columns=0, bool_columns=0
+            )
+
+    def test_to_json_is_plain_data(self):
+        import json
+
+        payload = SCENARIOS["mixed"].to_json()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["table_count"] == 7
+
+
+class TestGeneration:
+    def test_same_seed_is_bit_reproducible(self):
+        spec = SCENARIOS["mixed"]
+        a = generate_scenario(spec, 0.2, _SEED)
+        b = generate_scenario(spec, 0.2, _SEED)
+        assert a.queries == b.queries
+        for name in a.database.table_names:
+            assert a.database.relation(name).rows() == b.database.relation(name).rows()
+
+    def test_different_seeds_differ(self):
+        spec = SCENARIOS["mixed"]
+        a = generate_scenario(spec, 0.2, _SEED)
+        b = generate_scenario(spec, 0.2, _SEED + 1)
+        assert any(
+            a.database.relation(n).rows() != b.database.relation(n).rows()
+            for n in a.database.table_names
+        )
+
+    def test_queries_are_scale_invariant(self):
+        spec = SCENARIOS["chain"]
+        assert (
+            scenario_queries(spec, _SEED)
+            == generate_scenario(spec, 0.05, _SEED).queries
+            == generate_scenario(spec, 0.9, _SEED).queries
+        )
+
+    def test_row_counts_grow_with_scale(self):
+        spec = SCENARIOS["star"]
+        small = generate_scenario(spec, 0.1, _SEED)
+        large = generate_scenario(spec, 1.0, _SEED)
+        assert large.total_rows > small.total_rows
+        for name, count in small.rows_by_table().items():
+            assert large.rows_by_table()[name] >= count
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_foreign_keys_are_referentially_intact(self, name):
+        generated = generate_scenario(SCENARIOS[name], 0.15, _SEED)
+        database = generated.database
+        for fk in database.schema.foreign_keys:
+            parent_ids = set(database.relation(fk.parent_table).column("id"))
+            for value in database.relation(fk.child_table).column("parent_id"):
+                assert value in parent_ids
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_query_has_a_non_empty_result_even_tiny(self, name):
+        generated = generate_scenario(SCENARIOS[name], 0.02, _SEED)
+        for query in generated.queries:
+            query.validate(generated.database.schema)
+            assert len(evaluate(query, generated.database)) > 0, str(query)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_sqlite_oracle_agrees_on_every_query(self, name):
+        generated = generate_scenario(SCENARIOS[name], 0.15, _SEED)
+        for query in generated.queries:
+            assert cross_check(query, generated.database), str(query)
+
+    def test_mixed_scenario_exercises_the_huge_int_regime(self):
+        generated = generate_scenario(SCENARIOS["mixed"], 0.2, _SEED)
+        constants = {
+            c
+            for query in generated.queries
+            for term in query.predicate.terms()
+            for c in term.constants()
+            if isinstance(c, int) and not isinstance(c, bool) and c > 2**50
+        }
+        assert constants, "mixed scenario must place constants near 2^53"
+        assert all(abs(c - HUGE_BASE) <= 1 for c in constants)
+        values = set(generated.database.relation("t0").column("big0"))
+        assert any(v % 2 == 1 for v in values if v is not None), (
+            "odd huge ints (indistinguishable after a float() round-trip) "
+            "must appear in the data"
+        )
+
+    def test_too_small_predicate_space_fails_loudly(self):
+        # A single boolean column can only yield a couple of distinct
+        # predicates; asking for 8 queries must raise, not silently return a
+        # short workload (the sweep records the spec's promised count).
+        spec = ScenarioSpec(
+            name="tiny", depth=0, int_columns=0, float_columns=0,
+            str_columns=0, bool_columns=1, query_count=8,
+        )
+        with pytest.raises(ValueError, match="distinct queries"):
+            scenario_queries(spec, _SEED)
+
+    def test_tree_shape_matches_spec(self):
+        tables = scenario_tables(SCENARIOS["mixed"])
+        assert len(tables) == 7
+        assert tables[0].parent is None
+        children = [t for t in tables if t.parent == "t0"]
+        assert len(children) == 2
+        grandchildren = [t for t in tables if t.parent == children[0].name]
+        assert len(grandchildren) == 2
+
+
+class TestCatalogAndWorkloadBridge:
+    def test_catalog_has_at_least_three_presets(self):
+        assert len(scenario_names()) >= 3
+        assert {"chain", "star", "mixed"} <= set(scenario_names())
+
+    def test_parse_scenario_name(self):
+        spec, seed = parse_scenario_name("scenario:mixed")
+        assert spec is SCENARIOS["mixed"] and seed is None
+        spec, seed = parse_scenario_name("scenario:chain@42")
+        assert spec is SCENARIOS["chain"] and seed == 42
+        assert parse_scenario_name("Q2") is None
+        with pytest.raises(KeyError):
+            parse_scenario_name("scenario:nope")
+        with pytest.raises(ValueError):
+            parse_scenario_name("scenario:chain@notanint")
+
+    def test_workload_lookup_resolves_scenarios(self):
+        entry = workload("scenario:star@7")
+        assert entry.dataset == "scenario"
+        assert entry.name == "scenario:star@7"
+        with pytest.raises(KeyError, match="scenario:<preset>"):
+            workload("scenario-typo")
+
+    def test_build_pair_matches_direct_generation(self):
+        database, result, target = build_pair("scenario:chain@5", 0.2)
+        direct = generate_scenario(SCENARIOS["chain"], 0.2, 5)
+        assert target == direct.target
+        for name in direct.database.table_names:
+            assert database.relation(name).rows() == direct.database.relation(name).rows()
+        assert result.bag_equal(evaluate(direct.target, direct.database))

@@ -154,3 +154,55 @@ class TestFileStore:
         store = FileSessionStore(nested)
         store.put("s1", b"1")
         assert nested.is_dir()
+
+    def test_eviction_orders_by_mtime_ns_not_float_seconds(self, tmp_path):
+        # Regression: LRU ordering used the float ``st_mtime``, which
+        # quantizes nanosecond timestamps (~256 ns spacing at current
+        # epochs, whole seconds on coarse filesystems). Checkpoints written
+        # close together tied, the sort fell through to path comparison, and
+        # the *newest* session could be evicted. Freeze both mtimes to
+        # nanosecond values that collapse onto the same float second but
+        # differ in ``st_mtime_ns``; the lexically-smaller name is the newer
+        # session, so the old float ordering evicted exactly the wrong file.
+        store = FileSessionStore(tmp_path, max_sessions=2)
+        store.put("a-newest", b"new")
+        store.put("b-older", b"old")
+        base_ns = (1_700_000_000_000_000_000 // 4096) * 4096
+        newer_ns = base_ns + 100
+        assert base_ns / 1e9 == newer_ns / 1e9  # the float tie being fixed
+        os.utime(tmp_path / f"b-older{CHECKPOINT_SUFFIX}", ns=(base_ns, base_ns))
+        os.utime(tmp_path / f"a-newest{CHECKPOINT_SUFFIX}", ns=(newer_ns, newer_ns))
+        assert os.stat(tmp_path / f"a-newest{CHECKPOINT_SUFFIX}").st_mtime_ns == newer_ns
+        store.put("c", b"3")  # evicts the ns-oldest: "b-older"
+        assert sorted(store.ids()) == ["a-newest", "c"]
+
+    def test_exact_ns_ties_break_on_name_deterministically(self, tmp_path):
+        # Same nanosecond on both files: no recency signal exists at all, so
+        # eviction falls back to the stable name order instead of racing.
+        store = FileSessionStore(tmp_path, max_sessions=2)
+        store.put("b", b"2")
+        store.put("a", b"1")
+        tied_ns = 1_700_000_000_000_000_000
+        for name in ("a", "b"):
+            os.utime(tmp_path / f"{name}{CHECKPOINT_SUFFIX}", ns=(tied_ns, tied_ns))
+        store.put("c", b"3")  # one overflow slot: "a" goes first (name order)
+        assert sorted(store.ids()) == ["b", "c"]
+
+    def test_ttl_with_frozen_clock_is_ns_exact(self, tmp_path):
+        # Checkpoints written "within the same second" (sub-second mtime
+        # deltas) expire individually against a frozen injected clock.
+        clock = FakeClock(now=2_000.0)
+        store = FileSessionStore(tmp_path, ttl_seconds=1.0, clock=clock)
+        store.put("stale", b"1")
+        store.put("fresh", b"2")
+        second_ns = 1_000_000_000
+        base_ns = int(clock.now) * second_ns
+        os.utime(
+            tmp_path / f"stale{CHECKPOINT_SUFFIX}",
+            ns=(base_ns - second_ns - 1, base_ns - second_ns - 1),
+        )
+        os.utime(
+            tmp_path / f"fresh{CHECKPOINT_SUFFIX}",
+            ns=(base_ns - second_ns + 400_000_000, base_ns - second_ns + 400_000_000),
+        )
+        assert store.ids() == ["fresh"]

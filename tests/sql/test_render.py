@@ -15,6 +15,50 @@ class TestRenderValue:
         assert render_value(3.5) == "3.5"
         assert render_value("o'clock") == "'o''clock'"
 
+    def test_floats_render_with_round_trip_precision(self):
+        # Regression: "{:g}" kept 6 significant digits, so 0.1234567 rendered
+        # as 0.123457 and the SQL disagreed with the in-memory evaluator.
+        for value in (0.1234567, 1.0000001, 123456.789012345, 1e-7, -2.5e300):
+            assert float(render_value(value)) == value, value
+        assert render_value(0.1234567) == "0.1234567"
+
+    def test_large_integers_render_exactly(self):
+        assert render_value(2**53 + 1) == str(2**53 + 1)
+
+    def test_infinities_render_as_sqlite_overflow_literals(self):
+        assert render_value(float("inf")) == "9e999"
+        assert render_value(float("-inf")) == "-9e999"
+
+
+class TestFloatPrecisionOracleAgreement:
+    """The rendered SQL must select exactly what the evaluator selects."""
+
+    def _database(self):
+        from repro.relational.database import Database
+
+        rows = [[i, v] for i, v in enumerate(
+            [0.1234567, 0.123457, 0.12345670000000001, 1.0000001, 1.0,
+             123456.789012345, 123456.789012, 1e-7, 0.0]
+        )]
+        return Database.from_tables({"T": (["id", "x"], rows)})
+
+    def test_equality_and_threshold_constants_agree_with_sqlite(self):
+        from repro.relational.evaluator import evaluate
+        from repro.sql.sqlite_backend import SQLiteBackend
+
+        database = self._database()
+        constants = [0.1234567, 0.12345670000000001, 1.0000001, 123456.789012345, 1e-7]
+        ops = [ComparisonOp.EQ, ComparisonOp.NE, ComparisonOp.LT, ComparisonOp.GE]
+        with SQLiteBackend(database) as backend:
+            for constant in constants:
+                for op in ops:
+                    query = SPJQuery(
+                        ["T"], ["T.id"], DNFPredicate.from_terms([Term("T.x", op, constant)])
+                    )
+                    ours = evaluate(query, database)
+                    theirs = backend.execute(query)
+                    assert ours.bag_equal(theirs), (op, constant, render_query(query))
+
 
 class TestRenderPredicate:
     def test_true_predicate(self):
