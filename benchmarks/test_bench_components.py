@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import QFEConfig
-from repro.core.execution_backend import ProcessPoolBackend
+from repro.core.execution_backend import ProcessPoolBackend, SqlPushdownBackend
 from repro.core.modification import PairSetSimulator
 from repro.core.round_planner import RoundPlanner
 from repro.core.skyline import skyline_stc_dtc_pairs
@@ -33,6 +33,7 @@ from repro.relational.evaluator import (
     result_fingerprint,
 )
 from repro.relational.join import JOIN_STATS, full_join
+from repro.sql.pushdown import PUSHDOWN_STATS
 from repro.workloads import build_pair
 
 _QBO = QBOConfig(threshold_variants=2, max_terms_per_conjunct=3, max_candidates=25)
@@ -278,6 +279,61 @@ def test_round_planner_parallel_matches_serial_with_zero_worker_joins(
         assert key(parallel) == key(serial)
         assert all(o.full_joins == 0 for o in parallel), "a worker fell back to a full join"
         assert all(o.full_joins == 0 for o in serial)
+
+
+@pytest.fixture(scope="module")
+def sql_backend():
+    backend = SqlPushdownBackend()
+    yield backend
+    backend.close()
+
+
+@pytest.mark.benchmark(group="round-planner")
+def test_bench_round_planner_sql_pushdown(benchmark, round_planner_setup, sql_backend):
+    planner, plan, sweep = round_planner_setup
+    # Warm outside the measurement: the base load into the mirror and the
+    # round compilation happen once per session/round, not once per attempt.
+    planner.execute(plan, attempts=sweep[:4], stop_at_first=False, backend=sql_backend)
+
+    def run():
+        return planner.execute(plan, attempts=sweep, stop_at_first=False,
+                               backend=sql_backend)
+
+    outcomes = benchmark(run)
+    assert len(outcomes) == len(sweep)
+    assert any(o.applied for o in outcomes)
+
+
+def test_sql_pushdown_matches_serial_with_one_base_load(round_planner_setup):
+    """Fast regression guard (not a benchmark): the SQL-pushdown backend must
+    return bit-identical outcomes to the serial oracle, never materialize a
+    Python-side full join, load the base into its mirror at most once across
+    consecutive rounds of one session, and never silently fall back to the
+    in-process path on a clean round.
+    """
+    planner, plan, sweep = round_planner_setup
+
+    def key(outcomes):
+        return [
+            (o.attempt_index, o.pairs, o.applied, o.distinguishes, o.signature,
+             o.group_sizes, o.modification_count, o.db_cost)
+            for o in outcomes
+        ]
+
+    PUSHDOWN_STATS.reset()
+    with SqlPushdownBackend() as backend:
+        for attempts in (plan.attempts, sweep[:32]):
+            serial = planner.execute(plan, attempts=attempts, stop_at_first=False)
+            pushed = planner.execute(plan, attempts=attempts, stop_at_first=False,
+                                     backend=backend)
+            assert key(pushed) == key(serial)
+            assert all(o.full_joins == 0 for o in pushed), (
+                "the pushdown path materialized a Python-side full join"
+            )
+        base_loads, attempt_batches, python_fallbacks = PUSHDOWN_STATS.snapshot()
+        assert base_loads == 1, "the mirror reloaded the base between attempts"
+        assert attempt_batches == len(plan.attempts) + 32
+        assert python_fallbacks == 0, "a clean round fell back to the Python path"
 
 
 # The ``service-round`` group is the session-service tentpole comparison:

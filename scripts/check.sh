@@ -16,12 +16,16 @@ echo "== differential oracles: columnar + delta maintenance vs row-at-a-time ref
 python -m pytest -q tests/relational/test_columnar.py tests/relational/test_delta_maintenance.py tests/sql/test_sqlite_backend.py
 
 echo
-echo "== regression guards: delta-derive path and parallel workers perform no full join rebuild =="
-python -m pytest -q benchmarks/test_bench_components.py -k "delta_derive_path or zero_worker" --benchmark-disable
+echo "== regression guards: delta-derive path, parallel workers and SQL pushdown perform no full join rebuild =="
+python -m pytest -q benchmarks/test_bench_components.py -k "delta_derive_path or zero_worker or sql_pushdown_matches" --benchmark-disable
 
 echo
 echo "== differential: process-pool round planner is bit-identical to the serial oracle (Q1-Q6) =="
 python -m pytest -q tests/integration/test_parallel_differential.py -m ""
+
+echo
+echo "== differential: SQL-pushdown backend is bit-identical to the serial oracle (fast guard) =="
+python -m pytest -q tests/integration/test_sql_pushdown_differential.py tests/relational/test_null_semantics.py
 
 echo
 echo "== differential: checkpoint/resume at every round is bit-identical to uninterrupted runs (Q1-Q6) =="

@@ -32,7 +32,7 @@ from repro.core import (
     QFESession,
     ScriptedSelector,
 )
-from repro.core.config import nonnegative_int
+from repro.core.config import BACKEND_CHOICES, backend_name, nonnegative_int
 from repro.datasets import adult, baseball, employee, scientific
 from repro.exceptions import ReproError
 from repro.qbo import QBOConfig
@@ -81,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=nonnegative_int, default=0,
         help="worker processes for the round planner's candidate search "
              "(0/1 = serial; results are identical at any worker count)",
+    )
+    parser.add_argument(
+        "--backend", type=backend_name, default="auto", metavar="NAME",
+        help="execution backend for the candidate search: "
+             f"{', '.join(BACKEND_CHOICES)} (auto derives it from --workers; "
+             "sql compiles each round into SQLite passes; transcripts are "
+             "identical for every backend)",
     )
     parser.add_argument(
         "--transcript-out", type=str, default=None, metavar="PATH",
@@ -184,7 +191,12 @@ def main(argv: Sequence[str] | None = None, *, output=None) -> int:
     session = QFESession(
         database,
         result,
-        config=QFEConfig(beta=args.beta, delta_seconds=args.delta, workers=args.workers),
+        config=QFEConfig(
+            beta=args.beta,
+            delta_seconds=args.delta,
+            workers=args.workers,
+            backend=args.backend,
+        ),
         qbo_config=QBOConfig(threshold_variants=2, max_candidates=args.max_candidates),
     )
     try:

@@ -10,10 +10,45 @@ ablations listed in DESIGN.md.
 
 from __future__ import annotations
 
+import argparse
 import enum
 from dataclasses import dataclass
 
-__all__ = ["IterationEstimator", "QFEConfig", "nonnegative_int"]
+__all__ = [
+    "IterationEstimator",
+    "QFEConfig",
+    "nonnegative_int",
+    "BACKEND_CHOICES",
+    "backend_name",
+]
+
+#: Execution-backend names accepted everywhere a worker count is accepted
+#: (``QFEConfig.backend``, every ``--backend`` flag, the service config).
+BACKEND_CHOICES = ("auto", "serial", "process", "sql")
+
+
+class _BackendNameError(ValueError, argparse.ArgumentTypeError):
+    """Unknown backend name.
+
+    Doubly derived so programmatic callers can catch the conventional
+    ``ValueError`` while ``argparse`` (which only preserves the message of an
+    ``ArgumentTypeError``) still shows the list of valid choices in its usage
+    error instead of a bare "invalid value".
+    """
+
+
+def backend_name(text: str) -> str:
+    """Parse/validate a backend name (``argparse`` type for ``--backend``).
+
+    Validates at parse time — before any dataset is loaded — so an unknown
+    name exits with a usage message instead of failing mid-session.
+    """
+    normalized = text.strip().lower()
+    if normalized not in BACKEND_CHOICES:
+        raise _BackendNameError(
+            f"unknown backend {text!r}; choose from {', '.join(BACKEND_CHOICES)}"
+        )
+    return normalized
 
 
 def nonnegative_int(text: str) -> int:
@@ -92,6 +127,12 @@ class QFEConfig:
         in-process backend; ``2`` or more shard the search over a process
         pool seeded with a delta-replicated snapshot of the base database.
         Results are bit-identical regardless of the worker count.
+    backend:
+        Which execution backend the search runs on: ``"auto"`` (the default)
+        derives it from ``workers`` as above, ``"serial"`` forces the
+        in-process oracle, ``"process"`` forces the worker pool, and
+        ``"sql"`` compiles each round into SQLite passes over a persistent
+        in-memory mirror. Every backend produces bit-identical transcripts.
     """
 
     beta: float = 1.0
@@ -107,6 +148,7 @@ class QFEConfig:
     set_semantics: bool = False
     protect_key_columns: bool = True
     workers: int = 0
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.beta < 0:
@@ -125,6 +167,11 @@ class QFEConfig:
             raise ValueError("max_sets_per_level must be at least 1")
         if self.workers < 0:
             raise ValueError("workers must be non-negative")
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {', '.join(BACKEND_CHOICES)}"
+            )
 
     def with_overrides(self, **overrides) -> "QFEConfig":
         """A copy of this configuration with selected fields replaced."""

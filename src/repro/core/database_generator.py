@@ -60,7 +60,8 @@ class DatabaseGenerator:
         self.score = score
         if backend is None:
             backend = create_backend(
-                workers if workers is not None else self.config.workers
+                workers if workers is not None else self.config.workers,
+                self.config.backend,
             )
         # The planner owns the join cache: the original database's joins (and
         # their columnar views / term masks) stay warm across iterations —

@@ -43,7 +43,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.core.config import QFEConfig
+from repro.core.config import BACKEND_CHOICES, QFEConfig, backend_name
 from repro.core.materialize import materialize_pairs
 from repro.core.modification import ClassPair
 from repro.core.partitioner import partition_signature
@@ -52,6 +52,14 @@ from repro.relational.database import Database
 from repro.relational.evaluator import BaseSnapshot, JoinCache
 from repro.relational.join import JOIN_STATS
 from repro.relational.query import SPJQuery
+from repro.sql.pushdown import (
+    PUSHDOWN_STATS,
+    PushdownExecutionError,
+    PushdownUnsupportedError,
+    RoundProgram,
+    SqliteMirror,
+    compile_round,
+)
 
 __all__ = [
     "RoundContext",
@@ -62,6 +70,9 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "SqlPushdownBackend",
+    "BACKEND_CHOICES",
+    "backend_name",
     "create_backend",
     "shard_attempts",
     "attempt_seed",
@@ -370,6 +381,12 @@ class ExecutionBackend(ABC):
     def close(self) -> None:
         """Release any resources (worker pools); the backend stays reusable."""
 
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 class SerialBackend(ExecutionBackend):
     """In-process, in-order evaluation — the differential oracle."""
@@ -580,8 +597,201 @@ class ProcessPoolBackend(ExecutionBackend):
             self._snapshot = None
 
 
-def create_backend(workers: int | None) -> ExecutionBackend:
-    """The backend for a worker count: serial for ``0``/``1``, a pool otherwise."""
+class SqlPushdownBackend(ExecutionBackend):
+    """Score attempts by compiling the round into SQLite passes.
+
+    Instead of shuttling attempt evaluation to Python-side executors, the
+    round is pushed down into the engine that already serves as the
+    correctness oracle: the base database is loaded **once per session** into
+    a persistent ``:memory:`` SQLite mirror (:class:`SqliteMirror`, rowids
+    aliased to tuple ids, join keys indexed), each round's candidate batch is
+    compiled **once** into per-join-signature aggregated SELECTs
+    (:func:`~repro.sql.pushdown.compile_round`, cached by round token), and
+    every attempt then costs one SAVEPOINT'd delta replay plus those SELECTs
+    — the join, the predicates and the group counting all run at C speed.
+
+    Determinism contract: materialization stays driver-side (it is what
+    produces the :class:`~repro.relational.delta.TupleDelta` to replay), the
+    compiled fingerprints induce exactly the evaluator's result-equality
+    classes, and attempts are scored in order — so outcomes, winners and
+    whole-session transcripts are bit-identical to :class:`SerialBackend`.
+    The faithfulness ladder is conservative: a round whose predicates cannot
+    be compiled with exact evaluator semantics (e.g. an ordering comparison
+    the evaluator would surface as an evaluation error) falls back to the
+    in-process path wholesale, and an attempt SQLite rejects at runtime is
+    re-scored individually by :func:`evaluate_attempt` — both identical to
+    serial by construction.
+
+    The mirror is invalidated exactly like the process pool's broadcast
+    snapshot: the planner's ``snapshot_provider`` memoizes per base state and
+    returns a *new* snapshot object only when the base actually changed, so
+    snapshot identity doubles as the reload signal (at most one base load per
+    session, pinned by :data:`~repro.sql.pushdown.PUSHDOWN_STATS`).
+    """
+
+    name = "sql-pushdown"
+
+    def __init__(self) -> None:
+        self._serial = SerialBackend()
+        self._mirror: SqliteMirror | None = None
+        self._snapshot: BaseSnapshot | None = None
+        self._base_unsupported = False
+        # One compiled program per round, keyed by token; a new round evicts
+        # the previous entry (tokens are process-unique, rounds sequential).
+        # ``None`` records a round whose batch cannot be compiled faithfully.
+        self._programs: dict[str, RoundProgram | None] = {}
+
+    # ----------------------------------------------------------------- mirror
+    def _ensure_mirror(self, setup: RoundSetup) -> SqliteMirror | None:
+        snapshot = setup.snapshot_provider()
+        if snapshot is not self._snapshot:
+            # Base state changed (new database, uncovered signature, or joins
+            # invalidated after an in-place mutation): reload the mirror.
+            self._discard_mirror()
+            self._snapshot = snapshot
+        if self._mirror is None and not self._base_unsupported:
+            try:
+                self._mirror = SqliteMirror(setup.database)
+            except PushdownUnsupportedError:
+                self._base_unsupported = True
+        return self._mirror
+
+    def _discard_mirror(self) -> None:
+        if self._mirror is not None:
+            self._mirror.close()
+            self._mirror = None
+        self._base_unsupported = False
+        self._programs.clear()
+
+    def _program_for(self, setup: RoundSetup) -> RoundProgram | None:
+        token = setup.context.token
+        if token not in self._programs:
+            self._programs.clear()
+            try:
+                program: RoundProgram | None = compile_round(
+                    setup.context.queries,
+                    setup.database,
+                    set_semantics=setup.context.config.set_semantics,
+                )
+            except PushdownUnsupportedError:
+                program = None
+            self._programs[token] = program
+        return self._programs[token]
+
+    # -------------------------------------------------------------------- run
+    def run_attempts(
+        self, setup: RoundSetup, attempts: Sequence[Attempt], *, stop_at_first: bool
+    ) -> list[AttemptOutcome]:
+        mirror = self._ensure_mirror(setup)
+        program = self._program_for(setup) if mirror is not None else None
+        if mirror is None or program is None:
+            PUSHDOWN_STATS.python_fallbacks += 1
+            return self._serial.run_attempts(setup, attempts, stop_at_first=stop_at_first)
+        runtime = RoundRuntime(
+            database=setup.database, space=setup.space, join_cache=setup.join_cache
+        )
+        winner_store = setup.winner_store if stop_at_first else None
+        outcomes: list[AttemptOutcome] = []
+        for attempt_index, pairs in enumerate(attempts):
+            outcome = self._evaluate_attempt_sql(
+                mirror, program, runtime, setup.context, attempt_index, pairs, winner_store
+            )
+            outcomes.append(outcome)
+            if stop_at_first and outcome.applied and outcome.distinguishes:
+                break
+        return outcomes
+
+    def _evaluate_attempt_sql(
+        self,
+        mirror: SqliteMirror,
+        program: RoundProgram,
+        runtime: RoundRuntime,
+        context: RoundContext,
+        attempt_index: int,
+        pairs: Attempt,
+        winner_store: dict | None,
+    ) -> AttemptOutcome:
+        """Score one attempt through the mirror (Python fallback on failure).
+
+        Materialization stays in process — it is the deterministic source of
+        the delta the mirror replays — but the candidate batch never touches
+        the Python evaluator: the partition comes from the compiled program's
+        fingerprints, so the attempt performs zero Python-side joins.
+        """
+        config = context.config
+        joins_before = JOIN_STATS.full_joins
+        materialization = materialize_pairs(runtime.space, pairs, runtime.database, config)
+        applied = bool(materialization.applied)
+        signature: tuple[int, ...] | None = None
+        group_sizes: tuple[int, ...] = ()
+        distinguishes = False
+        if applied:
+            try:
+                with mirror.attempt(materialization.delta) as cursor:
+                    fingerprints = program.fingerprints(cursor)
+            except PushdownExecutionError:
+                PUSHDOWN_STATS.python_fallbacks += 1
+                return evaluate_attempt(runtime, context, attempt_index, pairs, winner_store)
+            PUSHDOWN_STATS.attempt_batches += 1
+            signature = partition_signature(fingerprints)
+            sizes: dict[int, int] = {}
+            for group_id in signature:
+                sizes[group_id] = sizes.get(group_id, 0) + 1
+            group_sizes = tuple(sorted(sizes.values(), reverse=True))
+            distinguishes = len(sizes) > 1
+            if winner_store is not None and distinguishes:
+                # Finalize-ready deposit: warm the base term masks (once per
+                # live join, shared guard with the other backends) and keep
+                # the winner's derived cache entry registered, so the
+                # planner's ``partition_queries`` evaluates the feedback
+                # partition on the O(|Δ|) patched state. Only the winner pays
+                # this — losing attempts never touch the Python evaluator.
+                ensure_base_masks_warm(runtime.database, runtime.join_cache, context)
+                delta = materialization.delta
+                if delta.is_update_only and not delta.is_empty:
+                    runtime.join_cache.derive(
+                        runtime.database, delta, materialization.database
+                    )
+                winner_store["attempt_index"] = attempt_index
+                winner_store["materialization"] = materialization
+        return AttemptOutcome(
+            attempt_index=attempt_index,
+            pairs=tuple(pairs),
+            applied=applied,
+            distinguishes=distinguishes,
+            signature=signature,
+            group_sizes=group_sizes,
+            modification_count=materialization.modification_count,
+            modified_tuple_count=materialization.modified_tuple_count,
+            modified_relation_count=materialization.modified_relation_count,
+            side_effect_count=materialization.side_effect_count,
+            skipped_pair_count=len(materialization.skipped_pairs),
+            db_cost=materialization.modification_count
+            + config.beta * materialization.modified_relation_count,
+            full_joins=JOIN_STATS.full_joins - joins_before,
+        )
+
+    def close(self) -> None:
+        """Drop the mirror connection; the next round transparently reloads."""
+        self._discard_mirror()
+        self._snapshot = None
+
+
+def create_backend(workers: int | None, backend: str = "auto") -> ExecutionBackend:
+    """The backend for a worker count and backend name.
+
+    ``auto`` keeps the historical worker-count rule — serial for ``0``/``1``
+    workers, a process pool otherwise. An explicit name always wins:
+    ``serial`` and ``sql`` ignore the worker count entirely, and ``process``
+    raises the count to the pool's minimum of two when needed.
+    """
+    name = backend_name(backend)
+    if name == "serial":
+        return SerialBackend()
+    if name == "sql":
+        return SqlPushdownBackend()
+    if name == "process":
+        return ProcessPoolBackend(max(2, workers or 0))
     if workers is None or workers <= 1:
         return SerialBackend()
     return ProcessPoolBackend(workers)

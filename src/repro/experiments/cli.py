@@ -24,10 +24,14 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
-from repro.core.config import nonnegative_int
+from repro.core.config import BACKEND_CHOICES, backend_name, nonnegative_int
 from repro.experiments import studies, tables
 from repro.experiments.report import ExperimentTable, render_tables
-from repro.experiments.runner import set_default_workers, set_transcript_sink
+from repro.experiments.runner import (
+    set_default_backend,
+    set_default_workers,
+    set_transcript_sink,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -84,6 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for every session's round-planner search "
              "(0/1 = serial; omit to defer to each session's config; "
              "regenerated numbers are identical at any count)",
+    )
+    parser.add_argument(
+        "--backend",
+        type=backend_name,
+        default=None,
+        metavar="NAME",
+        help="execution backend for every session's round-planner search: "
+             f"{', '.join(BACKEND_CHOICES)} (omit to defer to each session's "
+             "config; transcripts are identical for every backend)",
     )
     parser.add_argument(
         "--transcript-out",
@@ -215,6 +228,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     # each session's own config decides. The transcript sink works the same
     # way: installed for the duration of the run, then restored.
     previous_workers = set_default_workers(args.workers) if args.workers is not None else None
+    previous_backend = set_default_backend(args.backend) if args.backend is not None else None
     transcripts: list | None = [] if args.transcript_out else None
     previous_sink = set_transcript_sink(transcripts) if transcripts is not None else None
     try:
@@ -227,6 +241,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     finally:
         if args.workers is not None:
             set_default_workers(previous_workers)
+        if args.backend is not None:
+            set_default_backend(previous_backend)
         if transcripts is not None:
             set_transcript_sink(previous_sink)
 

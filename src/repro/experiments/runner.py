@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
-from repro.core.config import QFEConfig
+from repro.core.config import QFEConfig, backend_name
 from repro.core.feedback import OracleSelector, ResultSelector, WorstCaseSelector
 from repro.core.session import IterationRecord, QFESession, SessionResult
 from repro.core.subset_selection import ScoreFunction
@@ -34,6 +34,7 @@ __all__ = [
     "run_workload",
     "run_session",
     "set_default_workers",
+    "set_default_backend",
     "set_transcript_sink",
 ]
 
@@ -55,6 +56,22 @@ def set_default_workers(workers: int | None) -> int | None:
         raise ValueError("workers must be non-negative")
     previous = _DEFAULT_WORKERS
     _DEFAULT_WORKERS = workers
+    return previous
+
+
+#: Process-wide default for the execution-backend name, the ``--backend``
+#: counterpart of :data:`_DEFAULT_WORKERS`. ``None`` defers to each session's
+#: config (whose own default is ``"auto"``).
+_DEFAULT_BACKEND: str | None = None
+
+
+def set_default_backend(backend: str | None) -> str | None:
+    """Set the process-wide default backend name; returns the previous value."""
+    global _DEFAULT_BACKEND
+    if backend is not None:
+        backend = backend_name(backend)
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = backend
     return previous
 
 
@@ -195,6 +212,10 @@ ExecutionBackend`) overrides both and is *not* owned by the session — the
     config = config or QFEConfig()
     if workers is None:
         workers = _DEFAULT_WORKERS
+    if backend is None and _DEFAULT_BACKEND is not None and config.backend == "auto":
+        # The CLI's --backend default applies only where the session's own
+        # config did not already pick a backend explicitly.
+        config = config.with_overrides(backend=_DEFAULT_BACKEND)
     if candidates is None:
         candidate_list, generation_seconds = prepare_candidates(
             database,

@@ -6,15 +6,17 @@ For every requested ``(scenario, scale)`` the sweep
 2. **verifies** every query against the SQLite differential oracle (the
    pure-Python evaluator and an independent SQL engine must agree on every
    result, bag-exactly — this is where numeric/type-semantics bugs detonate);
-3. **runs** one full QFE session on the serial backend and one on a shared
-   process-pool backend, and demands the canonical transcripts be
-   **bit-identical** (the PR-3/PR-4 differential contract, extended to every
-   generated scenario);
+3. **runs** one full QFE session per execution backend — serial, a shared
+   process pool (when ``workers >= 2``), and the SQL-pushdown backend — and
+   demands every canonical transcript be **bit-identical** to the serial
+   oracle (the PR-3/PR-4 differential contract, extended to every generated
+   scenario and every backend);
 4. **measures** the cold vs delta-derived candidate-evaluation paths over
    the same candidate set;
 5. **records** the whole per-scale trajectory — row counts, join size,
-   session rounds, serial/pooled seconds, cold/delta seconds, transcript
-   hash — into ``benchmarks/BENCH_scenarios.json``.
+   session rounds, per-backend seconds with a ``fastest_backend`` pick,
+   cold/delta seconds, transcript hash — into
+   ``benchmarks/BENCH_scenarios.json``.
 
 A transcript divergence or an oracle disagreement raises
 :class:`ScenarioDivergenceError`: the sweep is a verification harness first
@@ -30,7 +32,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.core.config import QFEConfig
-from repro.core.execution_backend import ProcessPoolBackend
+from repro.core.execution_backend import ProcessPoolBackend, SqlPushdownBackend
 from repro.core.timing import Stopwatch
 from repro.exceptions import EvaluationError
 from repro.qbo.mutation import expand_candidate_set
@@ -200,13 +202,19 @@ def run_sweep(
     Returns the trajectory payload; also writes it as JSON to *out_path*
     unless that is ``None``. ``workers >= 2`` runs the pooled leg of every
     point over **one shared process pool** (spin-up paid once, as a service
-    would); ``workers`` of 0/1 skips the pooled leg.
+    would); ``workers`` of 0/1 skips the pooled leg. The SQL-pushdown leg
+    always runs (one shared backend, mirror reloaded per point), so every
+    point records per-backend timings and a ``fastest_backend`` pick.
     """
     names = list(scenarios) if scenarios else sorted(SCENARIOS)
     specs = [get_scenario(name) for name in names]
     scales = [float(s) for s in scales]
 
     pool = ProcessPoolBackend(workers) if workers >= 2 else None
+    # One SQL-pushdown backend shared across every point, like the pool: its
+    # mirror reloads automatically when a point hands it a new base database
+    # (snapshot identity is the invalidation signal).
+    sql = SqlPushdownBackend()
     payload: dict = {
         "seed": seed,
         "workers": workers,
@@ -262,7 +270,26 @@ def run_sweep(
                     point["pooled_speedup"] = (
                         serial_seconds / pooled_seconds if pooled_seconds > 0 else None
                     )
-                    point["transcripts_identical"] = True
+
+                sql_seconds, sql_json, _ = _session_point(
+                    generated, result, candidates,
+                    workers=None, backend=sql, workload_name=workload_name,
+                )
+                if sql_json != serial_json:
+                    raise ScenarioDivergenceError(
+                        f"scenario {spec.name!r} @ scale {scale}: sql-pushdown "
+                        f"transcript diverged from the serial oracle"
+                    )
+                point["sql_seconds"] = sql_seconds
+                point["sql_speedup"] = (
+                    serial_seconds / sql_seconds if sql_seconds > 0 else None
+                )
+                point["transcripts_identical"] = True
+                backend_seconds = {"serial": serial_seconds, "sql": sql_seconds}
+                if "pooled_seconds" in point:
+                    backend_seconds["process"] = point["pooled_seconds"]
+                point["backend_seconds"] = backend_seconds
+                point["fastest_backend"] = min(backend_seconds, key=backend_seconds.get)
 
                 if measure_eval_paths:
                     point.update(_measure_eval_paths(generated, candidates, joined))
@@ -274,6 +301,7 @@ def run_sweep(
     finally:
         if pool is not None:
             pool.close()
+        sql.close()
 
     if out_path is not None:
         path = Path(out_path)
@@ -292,12 +320,13 @@ def sweep_table(payload: dict):
         title="Scenario scale sweep",
         columns=[
             "scenario", "scale", "rows", "join rows", "|R|", "cands", "iters",
-            "serial s", "pooled s", "cold s", "delta s", "identical",
+            "serial s", "pooled s", "sql s", "fastest", "cold s", "delta s",
+            "identical",
         ],
         caption=(
             "Per-scale trajectory of generated scenarios: full QFE sessions on the "
-            "serial and process-pool backends (canonical transcripts bit-identical), "
-            "plus cold vs delta-derived candidate evaluation."
+            "serial, process-pool and sql-pushdown backends (canonical transcripts "
+            "bit-identical), plus cold vs delta-derived candidate evaluation."
         ),
     )
     for name, entry in sorted(payload["scenarios"].items()):
@@ -312,6 +341,8 @@ def sweep_table(payload: dict):
                 point["iterations"],
                 round(point["serial_seconds"], 4),
                 round(point["pooled_seconds"], 4) if "pooled_seconds" in point else "-",
+                round(point["sql_seconds"], 4) if "sql_seconds" in point else "-",
+                point.get("fastest_backend", "-"),
                 round(point["cold_eval_seconds"], 4) if "cold_eval_seconds" in point else "-",
                 round(point["delta_eval_seconds"], 4) if "delta_eval_seconds" in point else "-",
                 point.get("transcripts_identical", "-"),

@@ -19,7 +19,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.config import nonnegative_int
+from repro.core.config import BACKEND_CHOICES, backend_name, nonnegative_int
 
 __all__ = ["main", "build_parser"]
 
@@ -51,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=nonnegative_int, default=0,
         help="worker processes for the shared round-search pool "
              "(0/1 = serial; the pool is shared by every session)",
+    )
+    parser.add_argument(
+        "--backend", type=backend_name, default="auto", metavar="NAME",
+        help="shared round-search backend: "
+             f"{', '.join(BACKEND_CHOICES)} (auto derives it from --workers; "
+             "the backend is shared by every session)",
     )
     parser.add_argument(
         "--store-dir", default=None,
@@ -95,6 +101,7 @@ def main(argv: Sequence[str] | None = None, *, output=None) -> int:
         )
     manager = SessionManager(
         workers=args.workers,
+        backend_name=args.backend,
         store=store,
         checkpoint_each_step=not args.no_checkpoint,
         max_live_sessions=args.max_live_sessions,
@@ -104,7 +111,7 @@ def main(argv: Sequence[str] | None = None, *, output=None) -> int:
     print(
         f"qfe-serve listening on http://{host}:{port} "
         f"(backend={manager.backend.name}, "
-        f"store={'disk:' + str(args.store_dir) if store else 'memory'})",
+        f"store={'disk:' + str(args.store_dir) if store is not None else 'memory'})",
         file=output,
         flush=True,
     )

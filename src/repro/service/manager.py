@@ -192,6 +192,7 @@ class SessionManager:
         *,
         workers: int = 0,
         backend: ExecutionBackend | None = None,
+        backend_name: str = "auto",
         store: SessionStore | None = None,
         checkpoint_each_step: bool = True,
         max_live_sessions: int = 64,
@@ -204,7 +205,12 @@ class SessionManager:
             raise ValueError("max_warm_pairs must be at least 1")
         self.workers = workers
         self._owns_backend = backend is None
-        self.backend = backend if backend is not None else create_backend(workers)
+        # ``backend`` (a live ExecutionBackend) wins; otherwise the manager
+        # builds one from (workers, backend_name) — validated at build time,
+        # so a bad service config fails on startup, not mid-session.
+        self.backend = (
+            backend if backend is not None else create_backend(workers, backend_name)
+        )
         self.store = store
         self.checkpoint_each_step = checkpoint_each_step and store is not None
         self.max_live_sessions = max_live_sessions

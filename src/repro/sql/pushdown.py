@@ -1,0 +1,508 @@
+"""SQL pushdown: compile a candidate round into SQLite passes.
+
+The QFE inner loop scores each candidate modification ``D'`` by the exact
+result-equivalence partition it induces over the surviving candidate
+queries. The pure-Python path materializes ``D'``, delta-derives the cached
+join and batch-evaluates every candidate per attempt; this module instead
+pushes the evaluation into SQLite, where the join, the selection predicates
+and the per-group row counting all run at C speed:
+
+* :class:`SqliteMirror` loads the base database **once per session** into a
+  persistent ``:memory:`` connection (an ``"_qfe_id" INTEGER PRIMARY KEY``
+  column maps the engine's stable ``tuple_id``\\ s onto SQLite rowids, and
+  join-key columns are indexed), then replays each attempt's
+  :class:`~repro.relational.delta.TupleDelta` as INSERT/UPDATE/DELETE
+  statements inside a SAVEPOINT that is rolled back between attempts;
+* :func:`compile_round` compiles the surviving-candidate batch into one
+  aggregated SELECT per join signature — ``SUM(CASE WHEN <predicate> THEN 1
+  ELSE 0 END)`` per query over the foreign-key join, grouped by the union of
+  the queries' projected columns — whose result rows
+  :meth:`RoundProgram.fingerprints` folds into per-query result
+  fingerprints, from which :func:`~repro.core.partitioner.partition_signature`
+  recovers the exact partition the Python evaluator would have computed.
+
+Faithfulness is the whole game. The compiler reproduces
+:meth:`~repro.relational.predicates.Term.evaluate_value` — not SQL's naive
+three-valued logic — by explicit rewrites:
+
+* a NULL attribute value never satisfies any term (SQL's ``WHERE``/``CASE``
+  collapse of UNKNOWN already matches; no rewrite needed);
+* ``= NULL`` is always false (rendered ``0``); ``<> NULL`` selects exactly
+  the non-NULL values (rendered ``IS NOT NULL``);
+* NULLs are stripped from ``IN``/``NOT IN`` constant lists — SQL's
+  ``x NOT IN (..., NULL)`` selects *nothing*, while the evaluator selects
+  every non-NULL value outside the non-NULL constants;
+* cross-type equalities that SQLite's column affinity would coerce into
+  spurious matches (``'1'`` against an INTEGER column, ``1`` against a TEXT
+  column) are constant-folded to the evaluator's answer: never equal;
+* ordering comparisons between incomparable types (or against NULL), which
+  the evaluator surfaces as :class:`~repro.exceptions.EvaluationError` under
+  its reachability-aware error masks, raise
+  :class:`PushdownUnsupportedError` — the backend then falls back to the
+  bit-identical in-process path instead of guessing;
+* constants are rendered with :func:`~repro.relational.types.float_literal`
+  round-trip precision, integers stay exact through the 2^53 neighbourhood
+  (SQLite INTEGERs are 64-bit and INTEGER-vs-REAL comparisons are exact),
+  and integers outside the 64-bit range are refused rather than silently
+  parsed as REAL.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.relational.database import Database
+from repro.relational.delta import TupleDelta
+from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+from repro.relational.schema import TableSchema
+from repro.relational.types import AttributeType, canonical_value
+from repro.sql.render import OP_SQL, render_from_clause, render_identifier, render_value
+
+__all__ = [
+    "PushdownUnsupportedError",
+    "PushdownExecutionError",
+    "PushdownStats",
+    "PUSHDOWN_STATS",
+    "SqliteMirror",
+    "RoundProgram",
+    "compile_term",
+    "compile_predicate",
+    "compile_round",
+]
+
+#: The rowid-aliased column mapping ``tuple_id`` onto SQLite row addressing.
+_ID_COLUMN = "_qfe_id"
+
+#: SQLite INTEGER literals (and bound parameters) are 64-bit.
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+class PushdownUnsupportedError(Exception):
+    """The round (or database) cannot be compiled with exact evaluator semantics.
+
+    Raised at *compile/load* time — before any attempt is scored — so the
+    backend can fall back to the bit-identical in-process path wholesale.
+    """
+
+
+class PushdownExecutionError(Exception):
+    """SQLite failed mid-attempt (bind overflow, engine error).
+
+    Raised from inside an attempt's SAVEPOINT scope after the rollback has
+    run; the backend re-scores just that attempt on the in-process path.
+    """
+
+
+@dataclass
+class PushdownStats:
+    """Process-wide counters instrumenting the SQL-pushdown path.
+
+    ``base_loads`` counts full base-database loads into a mirror connection —
+    the backend's contract is **at most one per session** (re-loading only
+    when the base snapshot actually changes); ``attempt_batches`` counts
+    attempts whose partition was computed by SQLite; ``python_fallbacks``
+    counts rounds/attempts that fell back to the in-process path. The bench
+    regression guard pins the first two, so a silent fallback to per-attempt
+    reloading (or to Python evaluation) fails a fast test instead of only
+    showing up as a slow bench.
+    """
+
+    base_loads: int = 0
+    attempt_batches: int = 0
+    python_fallbacks: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters (tests/benchmarks call this before measuring)."""
+        self.base_loads = 0
+        self.attempt_batches = 0
+        self.python_fallbacks = 0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """``(base_loads, attempt_batches, python_fallbacks)`` at this moment."""
+        return (self.base_loads, self.attempt_batches, self.python_fallbacks)
+
+
+#: Module-level instrumentation shared by all mirrors in the process.
+PUSHDOWN_STATS = PushdownStats()
+
+
+# ----------------------------------------------------------------- compilation
+_NUMERIC_TYPES = (AttributeType.INTEGER, AttributeType.FLOAT, AttributeType.BOOLEAN)
+
+
+def _comparable(column_type: AttributeType, constant: Any) -> bool:
+    """Whether the evaluator's ``==``/``<`` can ever relate column and constant.
+
+    Python's operators never equate numbers with strings (booleans compare as
+    their integer value), while SQLite's column affinity would coerce
+    ``'1' = 1`` into a match either way around — so incomparable pairs must
+    be constant-folded (equality) or refused (ordering), never rendered.
+    """
+    if isinstance(constant, (bool, int, float)):
+        return column_type in _NUMERIC_TYPES
+    if isinstance(constant, str):
+        return column_type is AttributeType.STRING
+    return False
+
+
+def _is_nan(constant: Any) -> bool:
+    return isinstance(constant, float) and math.isnan(constant)
+
+
+def _check_literal(constant: Any) -> None:
+    if isinstance(constant, int) and not isinstance(constant, bool):
+        if not _INT64_MIN <= constant <= _INT64_MAX:
+            raise PushdownUnsupportedError(
+                f"integer constant {constant} exceeds SQLite's 64-bit range"
+            )
+
+
+def compile_term(term: Term, column_type: AttributeType) -> str:
+    """Compile one term into a SQL condition with exact evaluator semantics.
+
+    The result is meant for a ``WHERE``/``CASE WHEN`` context, where SQL's
+    UNKNOWN collapses to "not selected" — exactly the evaluator's "NULL never
+    satisfies any term". Raises :class:`PushdownUnsupportedError` for
+    comparisons the evaluator itself would surface as evaluation errors.
+    """
+    identifier = render_identifier(term.attribute)
+    op = term.op
+    if op.is_membership:
+        constants = [
+            c
+            for c in term.constant
+            if c is not None and not _is_nan(c) and _comparable(column_type, c)
+        ]
+        for constant in constants:
+            _check_literal(constant)
+        rendered = ", ".join(render_value(c) for c in constants)
+        if op is ComparisonOp.IN:
+            return f"({identifier} IN ({rendered}))" if constants else "0"
+        if constants:
+            return f"({identifier} NOT IN ({rendered}))"
+        return f"({identifier} IS NOT NULL)"
+    constant = term.constant
+    if op is ComparisonOp.EQ:
+        if constant is None or _is_nan(constant) or not _comparable(column_type, constant):
+            return "0"
+        _check_literal(constant)
+        return f"({identifier} = {render_value(constant)})"
+    if op is ComparisonOp.NE:
+        if constant is None or _is_nan(constant) or not _comparable(column_type, constant):
+            return f"({identifier} IS NOT NULL)"
+        _check_literal(constant)
+        return f"({identifier} <> {render_value(constant)})"
+    # Ordering against NaN never matches anything in Python (and never
+    # errors), so it folds to false; against NULL or an incomparable type the
+    # evaluator raises EvaluationError for every reachable non-NULL value, so
+    # compilation is refused and the backend routes the whole round through
+    # the in-process path, which reproduces those errors (and their
+    # reachability-aware masking) exactly.
+    if _is_nan(constant):
+        return "0"
+    if constant is None or not _comparable(column_type, constant):
+        raise PushdownUnsupportedError(
+            f"cannot push down ordering comparison {term.attribute} "
+            f"{op.value} {constant!r} over a {column_type.value} column"
+        )
+    _check_literal(constant)
+    return f"({identifier} {OP_SQL[op]} {render_value(constant)})"
+
+
+def compile_predicate(predicate: DNFPredicate, column_types: dict[str, AttributeType]) -> str:
+    """Compile a DNF predicate; *column_types* maps qualified attribute names."""
+    if predicate.is_true:
+        return "1"
+    conjuncts = []
+    for conjunct in predicate.conjuncts:
+        if not conjunct.terms:
+            conjuncts.append("1")
+            continue
+        conjuncts.append(
+            " AND ".join(
+                compile_term(term, column_types[term.attribute])
+                for term in conjunct.terms
+            )
+        )
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return " OR ".join(f"({c})" for c in conjuncts)
+
+
+# ----------------------------------------------------------------- the mirror
+class SqliteMirror:
+    """A persistent ``:memory:`` SQLite copy of a base database.
+
+    Unlike the cross-validation :class:`~repro.sql.sqlite_backend.SQLiteBackend`
+    (which mirrors a database to answer rendered SELECTs), the mirror exists
+    to be *mutated and rolled back* thousands of times: every table carries a
+    ``"_qfe_id" INTEGER PRIMARY KEY`` column aliasing the rowid to the
+    engine's stable ``tuple_id``, so a :class:`TupleDelta` translates into
+    O(|Δ|) primary-key UPDATE/DELETE/INSERT statements, and foreign-key
+    columns are indexed so the per-attempt join never scans.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self._connection = sqlite3.connect(":memory:")
+        try:
+            self._table_columns: dict[str, tuple[str, ...]] = {}
+            self._load(database)
+        except BaseException:
+            self._connection.close()
+            raise
+        PUSHDOWN_STATS.base_loads += 1
+
+    # ------------------------------------------------------------------ setup
+    def _load(self, database: Database) -> None:
+        cursor = self._connection.cursor()
+        for relation in database:
+            schema = relation.schema
+            if any(a.name == _ID_COLUMN for a in schema.attributes):
+                raise PushdownUnsupportedError(
+                    f"table {schema.name!r} has a column named {_ID_COLUMN!r}"
+                )
+            cursor.execute(self._create_table_sql(schema))
+            names = tuple(a.name for a in schema.attributes)
+            self._table_columns[schema.name] = names
+            placeholders = ", ".join("?" for _ in range(len(names) + 1))
+            insert_sql = f'INSERT INTO "{schema.name}" VALUES ({placeholders})'
+            try:
+                cursor.executemany(
+                    insert_sql,
+                    [
+                        (t.tuple_id, *_encode_row(t.values))
+                        for t in relation.tuples
+                    ],
+                )
+            except OverflowError as exc:
+                raise PushdownUnsupportedError(
+                    f"table {schema.name!r} holds an integer outside SQLite's "
+                    f"64-bit range: {exc}"
+                ) from exc
+        for index, fk in enumerate(database.schema.foreign_keys):
+            for table, columns in (
+                (fk.child_table, fk.child_columns),
+                (fk.parent_table, fk.parent_columns),
+            ):
+                cols = ", ".join(f'"{c}"' for c in columns)
+                cursor.execute(
+                    f'CREATE INDEX IF NOT EXISTS "qfe_fk{index}_{table}" '
+                    f'ON "{table}" ({cols})'
+                )
+        self._connection.commit()
+
+    @staticmethod
+    def _create_table_sql(schema: TableSchema) -> str:
+        columns = ", ".join(
+            f'"{attribute.name}" {attribute.type.sql_name}'
+            for attribute in schema.attributes
+        )
+        return (
+            f'CREATE TABLE "{schema.name}" '
+            f'("{_ID_COLUMN}" INTEGER PRIMARY KEY, {columns})'
+        )
+
+    # ---------------------------------------------------------------- attempts
+    @contextmanager
+    def attempt(self, delta: TupleDelta) -> Iterator[sqlite3.Cursor]:
+        """Apply *delta* inside a SAVEPOINT; rolls back on exit, always.
+
+        SQLite failures (bind overflow, engine errors) surface as
+        :class:`PushdownExecutionError` after the rollback has restored the
+        base state, so a failed attempt never poisons the mirror.
+        """
+        cursor = self._connection.cursor()
+        cursor.execute('SAVEPOINT "qfe_attempt"')
+        try:
+            self._apply_delta(cursor, delta)
+            yield cursor
+        except (sqlite3.Error, OverflowError, PushdownUnsupportedError) as exc:
+            raise PushdownExecutionError(f"SQLite rejected the attempt: {exc}") from exc
+        finally:
+            cursor.execute('ROLLBACK TO "qfe_attempt"')
+            cursor.execute('RELEASE "qfe_attempt"')
+
+    def _apply_delta(self, cursor: sqlite3.Cursor, delta: TupleDelta) -> None:
+        for relation in delta.relations:
+            names = self._table_columns[relation]
+            updates = delta.updates_for(relation)
+            if updates:
+                assignments = ", ".join(f'"{n}" = ?' for n in names)
+                cursor.executemany(
+                    f'UPDATE "{relation}" SET {assignments} WHERE "{_ID_COLUMN}" = ?',
+                    [
+                        (*_encode_row(values), tuple_id)
+                        for tuple_id, values in updates.items()
+                    ],
+                )
+            deletes = delta.deletes_for(relation)
+            if deletes:
+                cursor.executemany(
+                    f'DELETE FROM "{relation}" WHERE "{_ID_COLUMN}" = ?',
+                    [(tuple_id,) for tuple_id in sorted(deletes)],
+                )
+            inserts = delta.inserts_for(relation)
+            if inserts:
+                placeholders = ", ".join("?" for _ in range(len(names) + 1))
+                cursor.executemany(
+                    f'INSERT INTO "{relation}" VALUES ({placeholders})',
+                    [
+                        (tuple_id, *_encode_row(values))
+                        for tuple_id, values in inserts.items()
+                    ],
+                )
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "SqliteMirror":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _encode_row(row: Sequence[Any]) -> tuple:
+    return tuple(int(v) if isinstance(v, bool) else v for v in row)
+
+
+# ------------------------------------------------------------------ the round
+@dataclass(frozen=True)
+class _QueryFold:
+    """How one query's fingerprint folds out of a signature statement's rows."""
+
+    query_index: int
+    positions: tuple[int, ...]  # projected columns, as indexes into the row
+    count_index: int  # this query's SUM(CASE ...) column
+    distinct: bool
+
+
+@dataclass(frozen=True)
+class _SignatureStatement:
+    """One aggregated SELECT covering every query of one join signature."""
+
+    sql: str
+    folds: tuple[_QueryFold, ...]
+
+
+@dataclass(frozen=True)
+class RoundProgram:
+    """The compiled form of one round's surviving-candidate batch.
+
+    Executing the program against a mirror cursor (inside an attempt's
+    SAVEPOINT) yields one hashable fingerprint per query whose equality
+    classes are exactly bag (resp. set, under ``set_semantics``) equality of
+    the queries' results — the input
+    :func:`~repro.core.partitioner.partition_signature` needs. Fingerprints
+    deliberately aggregate over the *projected* rows, not raw predicate
+    membership vectors: two candidates satisfied by different joined rows
+    can still project to equal results, and the partition must say so.
+    """
+
+    statements: tuple[_SignatureStatement, ...]
+    query_count: int
+    set_semantics: bool = False
+
+    def fingerprints(self, cursor: sqlite3.Cursor) -> tuple[Any, ...]:
+        """Execute every signature statement and fold per-query fingerprints."""
+        fingerprints: list[Any] = [None] * self.query_count
+        for statement in self.statements:
+            try:
+                rows = cursor.execute(statement.sql).fetchall()
+            except sqlite3.Error as exc:
+                raise PushdownExecutionError(
+                    f"SQLite rejected the round statement: {exc}\n{statement.sql}"
+                ) from exc
+            for fold in statement.folds:
+                fingerprints[fold.query_index] = self._fold(rows, fold)
+        return tuple(fingerprints)
+
+    def _fold(self, rows: list, fold: _QueryFold) -> Any:
+        if self.set_semantics:
+            return frozenset(
+                tuple(canonical_value(row[p]) for p in fold.positions)
+                for row in rows
+                if row[fold.count_index]
+            )
+        bag: Counter = Counter()
+        for row in rows:
+            count = row[fold.count_index]
+            if not count:
+                continue
+            key = tuple(canonical_value(row[p]) for p in fold.positions)
+            if fold.distinct:
+                bag[key] = 1
+            else:
+                bag[key] += count
+        return frozenset(bag.items())
+
+
+def compile_round(
+    queries: Sequence[SPJQuery],
+    database: Database,
+    *,
+    set_semantics: bool = False,
+) -> RoundProgram:
+    """Compile a candidate batch into per-join-signature aggregated SELECTs.
+
+    Queries sharing a join signature share one statement: the SELECT groups
+    by the union of their projected columns and carries one
+    ``SUM(CASE WHEN <predicate> THEN 1 ELSE 0 END)`` column per query, so a
+    batch of ``q`` candidates over ``s`` signatures costs ``s`` SQLite passes
+    regardless of ``q``. Raises :class:`PushdownUnsupportedError` when any
+    predicate cannot be compiled with exact evaluator semantics.
+    """
+    schema = database.schema
+    column_types: dict[str, AttributeType] = {}
+    for table_name in schema.table_names:
+        table = schema.table(table_name)
+        for attribute in table.attributes:
+            column_types[f"{table_name}.{attribute.name}"] = attribute.type
+
+    by_signature: dict[tuple[str, ...], list[int]] = {}
+    for index, query in enumerate(queries):
+        by_signature.setdefault(query.join_signature, []).append(index)
+
+    statements: list[_SignatureStatement] = []
+    for signature, indexes in by_signature.items():
+        columns: list[str] = []
+        column_index: dict[str, int] = {}
+        for index in indexes:
+            for name in queries[index].projection:
+                if name not in column_index:
+                    column_index[name] = len(columns)
+                    columns.append(name)
+        select_parts = [render_identifier(name) for name in columns]
+        folds: list[_QueryFold] = []
+        for index in indexes:
+            query = queries[index]
+            condition = compile_predicate(query.predicate, column_types)
+            folds.append(
+                _QueryFold(
+                    query_index=index,
+                    positions=tuple(column_index[name] for name in query.projection),
+                    count_index=len(select_parts),
+                    distinct=query.distinct,
+                )
+            )
+            select_parts.append(f"SUM(CASE WHEN {condition} THEN 1 ELSE 0 END)")
+        group_by = ", ".join(str(i + 1) for i in range(len(columns)))
+        sql = (
+            f"SELECT {', '.join(select_parts)}\n"
+            f"FROM {render_from_clause(signature, schema)}\n"
+            f"GROUP BY {group_by}"
+        )
+        statements.append(_SignatureStatement(sql=sql, folds=tuple(folds)))
+    return RoundProgram(
+        statements=tuple(statements),
+        query_count=len(queries),
+        set_semantics=set_semantics,
+    )

@@ -11,14 +11,22 @@ identified.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Sequence
 
 from repro.relational.predicates import ComparisonOp, Conjunct, DNFPredicate, Term
 from repro.relational.query import SPJQuery, SPJUQuery
 from repro.relational.schema import DatabaseSchema, qualify
 from repro.relational.types import float_literal
 
-__all__ = ["render_query", "render_union", "render_predicate", "render_value"]
+__all__ = [
+    "render_query",
+    "render_union",
+    "render_predicate",
+    "render_value",
+    "render_identifier",
+    "render_from_clause",
+    "OP_SQL",
+]
 
 
 def render_value(value: Any) -> str:
@@ -42,14 +50,16 @@ def render_value(value: Any) -> str:
     return str(value)
 
 
-def _render_identifier(name: str) -> str:
+def render_identifier(name: str) -> str:
+    """Render a (possibly ``table.column``-qualified) identifier, quoted."""
     table, _, column = name.partition(".")
     if column:
         return f'"{table}"."{column}"'
     return f'"{table}"'
 
 
-_OP_SQL = {
+#: SQL operator text per comparison operator (shared with the pushdown compiler).
+OP_SQL = {
     ComparisonOp.EQ: "=",
     ComparisonOp.NE: "<>",
     ComparisonOp.LT: "<",
@@ -60,12 +70,12 @@ _OP_SQL = {
 
 
 def _render_term(term: Term) -> str:
-    identifier = _render_identifier(term.attribute)
+    identifier = render_identifier(term.attribute)
     if term.op is ComparisonOp.IN or term.op is ComparisonOp.NOT_IN:
         values = ", ".join(render_value(v) for v in term.constant)
         keyword = "IN" if term.op is ComparisonOp.IN else "NOT IN"
         return f"{identifier} {keyword} ({values})"
-    return f"{identifier} {_OP_SQL[term.op]} {render_value(term.constant)}"
+    return f"{identifier} {OP_SQL[term.op]} {render_value(term.constant)}"
 
 
 def _render_conjunct(conjunct: Conjunct) -> str:
@@ -83,17 +93,21 @@ def render_predicate(predicate: DNFPredicate) -> str:
     return " OR ".join(f"({_render_conjunct(c)})" for c in predicate.conjuncts)
 
 
-def _render_join_clause(query: SPJQuery, schema: DatabaseSchema | None) -> tuple[str, list[str]]:
-    """Return the FROM clause and any extra WHERE join conditions."""
-    tables = list(query.tables)
+def render_from_clause(tables: Sequence[str], schema: DatabaseSchema | None) -> str:
+    """The FROM clause joining *tables* along the schema's foreign keys.
+
+    With a schema, multi-table joins are rendered as explicit ``INNER JOIN
+    ... ON`` clauses along a spanning tree of the foreign-key graph — the
+    exact join :func:`~repro.relational.join.foreign_key_join` materializes,
+    which is what lets the SQL-pushdown backend reproduce the evaluator's
+    joined-row multiplicities. Without a schema the caller gets a plain
+    comma-separated table list (single-table queries only, in practice).
+    """
+    tables = list(tables)
     if len(tables) == 1 or schema is None:
-        from_clause = ", ".join(f'"{t}"' for t in tables)
-        conditions: list[str] = []
-        if schema is None and len(tables) > 1:
-            # Without a schema we cannot know the join columns; the caller is
-            # expected to pass the schema for multi-table queries.
-            conditions = []
-        return from_clause, conditions
+        # Without a schema we cannot know the join columns; the caller is
+        # expected to pass the schema for multi-table queries.
+        return ", ".join(f'"{t}"' for t in tables)
 
     spanning = schema.spanning_foreign_keys(tables)
     joined = [tables[0]]
@@ -109,8 +123,8 @@ def _render_join_clause(query: SPJQuery, schema: DatabaseSchema | None) -> tuple
             else:
                 continue
             conditions = " AND ".join(
-                f"{_render_identifier(qualify(fk.child_table, child))} = "
-                f"{_render_identifier(qualify(fk.parent_table, parent))}"
+                f"{render_identifier(qualify(fk.child_table, child))} = "
+                f"{render_identifier(qualify(fk.parent_table, parent))}"
                 for child, parent in fk.column_pairs()
             )
             clause += f'\n  INNER JOIN "{new_table}" ON {conditions}'
@@ -120,20 +134,17 @@ def _render_join_clause(query: SPJQuery, schema: DatabaseSchema | None) -> tuple
             break
         if not progressed:  # pragma: no cover - schema guarantees connectivity
             break
-    return clause, []
+    return clause
 
 
 def render_query(query: SPJQuery, schema: DatabaseSchema | None = None) -> str:
     """Render an SPJ query as a SQL SELECT statement."""
     select_kind = "SELECT DISTINCT" if query.distinct else "SELECT"
-    projection = ", ".join(_render_identifier(a) for a in query.projection)
-    from_clause, extra_conditions = _render_join_clause(query, schema)
+    projection = ", ".join(render_identifier(a) for a in query.projection)
+    from_clause = render_from_clause(query.tables, schema)
     lines = [f"{select_kind} {projection}", f"FROM {from_clause}"]
-    where_parts = list(extra_conditions)
     if not query.predicate.is_true:
-        where_parts.append(render_predicate(query.predicate))
-    if where_parts:
-        lines.append("WHERE " + " AND ".join(where_parts))
+        lines.append("WHERE " + render_predicate(query.predicate))
     return "\n".join(lines)
 
 

@@ -104,11 +104,25 @@ class SQLiteBackend:
         self.close()
 
 
-def cross_check(query: SPJQuery | SPJUQuery, database: Database) -> bool:
-    """Whether our evaluator and SQLite agree on the query's result (bag equality)."""
+def cross_check(
+    query: SPJQuery | SPJUQuery,
+    database: Database,
+    *,
+    backend: SQLiteBackend | None = None,
+) -> bool:
+    """Whether our evaluator and SQLite agree on the query's result (bag equality).
+
+    Pass a *backend* already loaded with *database* to cross-check a whole
+    run of queries against one mirror connection instead of rebuilding the
+    SQLite copy per call; without one, a fresh backend is created and closed
+    deterministically around the single check.
+    """
     from repro.relational.evaluator import evaluate
 
     ours = evaluate(query, database)
-    with SQLiteBackend(database) as backend:
+    if backend is not None:
         theirs = backend.execute(query)
+    else:
+        with SQLiteBackend(database) as owned:
+            theirs = owned.execute(query)
     return ours.bag_equal(theirs)

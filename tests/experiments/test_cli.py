@@ -30,6 +30,35 @@ class TestCLI:
         assert excinfo.value.code == 2
         assert "--workers" in capsys.readouterr().err
 
+    def test_backend_flag_parses_and_validates(self, capsys):
+        assert build_parser().parse_args(["table1", "--backend", "sql"]).backend == "sql"
+        # Omitted flag defers to each session's config (backend="auto").
+        assert build_parser().parse_args(["table1"]).backend is None
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--backend", "mysql"])
+        assert excinfo.value.code == 2
+        assert "serial" in capsys.readouterr().err
+
+    def test_backend_default_is_installed_for_the_run_and_restored(self, monkeypatch, capsys):
+        from repro.experiments import cli as experiments_cli
+        from repro.experiments import runner
+
+        observed = {}
+
+        def stub(scale):
+            observed["backend"] = runner._DEFAULT_BACKEND
+            return []
+
+        monkeypatch.setitem(experiments_cli._EXPERIMENTS, "table1", stub)
+        previous = runner.set_default_backend(None)
+        try:
+            assert main(["table1", "--backend", "sql"]) == 0
+            capsys.readouterr()
+            assert observed["backend"] == "sql"
+            assert runner._DEFAULT_BACKEND is None
+        finally:
+            runner.set_default_backend(previous)
+
     def test_workers_default_is_installed_for_the_run_and_restored(self, monkeypatch, capsys):
         from repro.experiments import cli as experiments_cli
         from repro.experiments import runner

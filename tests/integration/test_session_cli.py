@@ -23,6 +23,16 @@ class TestParser:
         args = build_parser().parse_args(["--dataset", "employee", "--workers", "4"])
         assert args.workers == 4
 
+    def test_backend_flag_defaults_to_auto(self, capsys):
+        args = build_parser().parse_args(["--dataset", "employee"])
+        assert args.backend == "auto"
+        args = build_parser().parse_args(["--dataset", "employee", "--backend", "sql"])
+        assert args.backend == "sql"
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--dataset", "employee", "--backend", "mysql"])
+        assert excinfo.value.code == 2
+        assert "serial" in capsys.readouterr().err
+
     def test_negative_workers_is_rejected_at_parse_time(self, capsys):
         # Validated by the shared argparse type before any dataset loads:
         # argparse exits with status 2 and a usage error on stderr.
@@ -55,6 +65,15 @@ class TestBuiltinDatasetRuns:
         parallel_output = capsys.readouterr().out
         assert "Identified query" in parallel_output
         assert parallel_output.splitlines()[-1] == serial_output.splitlines()[-1]
+
+    def test_employee_sql_backend_matches_serial(self, capsys):
+        target = "SELECT name FROM Employee WHERE salary > 4000"
+        assert main(["--dataset", "employee", "--target-sql", target]) == 0
+        serial_output = capsys.readouterr().out
+        assert main(["--dataset", "employee", "--target-sql", target, "--backend", "sql"]) == 0
+        sql_output = capsys.readouterr().out
+        assert "Identified query" in sql_output
+        assert sql_output.splitlines()[-1] == serial_output.splitlines()[-1]
 
     def test_transcript_out_writes_machine_readable_json(self, tmp_path, capsys):
         import json

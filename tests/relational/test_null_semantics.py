@@ -1,0 +1,244 @@
+"""Cross-engine NULL / three-valued-logic consistency.
+
+One property drives four implementations of the same comparison over columns
+containing NULLs and constants that are NULL, NaN or type-incomparable — the
+row-at-a-time interpreter (``Term.evaluate_value``), the compiled term
+closures, the columnar batch masks, and the SQL-pushdown translation
+executed by SQLite — and demands they all agree. The evaluator's semantics
+are *not* SQL's: ``NULL`` values fail every predicate outright (no three-
+valued ``UNKNOWN`` propagation), ``NOT IN`` with a NULL in the list still
+selects rows, and ordering a value against a NULL constant is an error. The
+pushdown layer must reproduce exactly that, rewriting each term rather than
+leaning on SQLite's native semantics; where it cannot, it must refuse to
+compile (``PushdownUnsupportedError``) so the round falls back to Python.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.exceptions import EvaluationError
+from repro.relational.columnar import ColumnarView, pack_bools
+from repro.relational.database import Database
+from repro.relational.predicates import ComparisonOp, Term, compile_term
+from repro.sql.pushdown import PushdownUnsupportedError, SqliteMirror
+from repro.sql.pushdown import compile_term as compile_term_sql
+from repro.sql.render import render_identifier
+
+_SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+BIG = 2**53
+NAN = float("nan")
+
+# Per-column value pools; every column contains NULLs alongside ordinary
+# values (columns stay type-homogeneous as the engine requires).
+_INT_VALUES = [None, 0, 1, -1, BIG, BIG + 1]
+_FLOAT_VALUES = [None, 0.0, 1.0, -0.5, float(BIG)]
+_BOOL_VALUES = [None, True, False]
+_STR_VALUES = [None, "x", "y", "1"]
+
+# Constants deliberately include NULL, NaN, and values whose type cannot be
+# compared with some columns ('1' against INTEGER must never match — the
+# evaluator compares exactly, without SQLite's affinity coercion).
+_CONSTANTS = [None, NAN, True, False, 0, 1, 1.0, 0.5, BIG, BIG + 1, "x", "1"]
+
+_SCALAR_OPS = [
+    ComparisonOp.EQ,
+    ComparisonOp.NE,
+    ComparisonOp.LT,
+    ComparisonOp.LE,
+    ComparisonOp.GT,
+    ComparisonOp.GE,
+]
+
+# The first row pins every column's inferred type; hypothesis rows layer the
+# NULL-heavy mixtures on top.
+_ANCHOR_ROW = (1, 1.0, True, "x")
+
+_row = st.tuples(
+    st.sampled_from(_INT_VALUES),
+    st.sampled_from(_FLOAT_VALUES),
+    st.sampled_from(_BOOL_VALUES),
+    st.sampled_from(_STR_VALUES),
+)
+_term_spec = st.tuples(
+    st.sampled_from(["i", "f", "b", "s"]),
+    st.sampled_from(_SCALAR_OPS + [ComparisonOp.IN, ComparisonOp.NOT_IN]),
+    st.sampled_from(_CONSTANTS),
+    st.sampled_from(_CONSTANTS),  # second member for IN/NOT IN
+)
+
+_COLUMNS = ["i", "f", "b", "s"]
+
+
+def _ids(relation):
+    return [t.tuple_id for t in relation.tuples]
+
+
+def _database(rows) -> Database:
+    all_rows = [list(_ANCHOR_ROW)] + [list(r) for r in rows]
+    return Database.from_tables({"T": (_COLUMNS, all_rows)})
+
+
+def _interpret(term: Term, values):
+    """Per-row interpreter verdicts; ``None`` marks an evaluation error."""
+    verdicts = []
+    errored = False
+    for value in values:
+        try:
+            verdicts.append(term.evaluate_value(value))
+        except EvaluationError:
+            verdicts.append(None)
+            errored = True
+    return verdicts, errored
+
+
+class TestFourPathNullConsistency:
+    @_SETTINGS
+    @given(rows=st.lists(_row, min_size=0, max_size=8), spec=_term_spec)
+    def test_interpreter_compiled_mask_and_pushdown_agree(self, rows, spec):
+        column, op, constant, second = spec
+        if op.is_membership:
+            constant = (constant, second)
+        qualified = Term(f"T.{column}", op, constant)
+        database = _database(rows)
+        relation = database.relation("T")
+        values = relation.column(column)
+        column_type = relation.schema.attribute(column).type
+
+        verdicts, errored = _interpret(qualified, values)
+
+        if not errored:
+            # Path 1 vs 2: interpreter vs compiled closure, value by value.
+            compiled = compile_term(qualified)
+            assert [compiled(v) for v in values] == verdicts
+
+            # Path 3: the columnar term mask, bit for bit.
+            bare = Term(column, op, constant)
+            view = ColumnarView(relation)
+            assert view.term_mask(bare) == pack_bools(verdicts)
+
+        # Path 4: the pushdown SQL translation, row id by row id.
+        try:
+            condition = compile_term_sql(qualified, column_type)
+        except PushdownUnsupportedError:
+            # Refusing to compile is always safe (the round falls back to
+            # the Python evaluator) and *mandatory* when any row errors —
+            # a compiled round could not reproduce the error.
+            return
+        assert not errored, (
+            f"{qualified} errors in the evaluator but compiled to SQL: {condition}"
+        )
+        expected = {
+            tuple_id
+            for tuple_id, verdict in zip(_ids(relation), verdicts)
+            if verdict
+        }
+        with SqliteMirror(database) as mirror:
+            sql = (
+                f'SELECT "_qfe_id" FROM {render_identifier("T")} '
+                f"WHERE {condition}"
+            )
+            selected = {row[0] for row in mirror._connection.execute(sql)}
+        assert selected == expected, (qualified, condition)
+
+
+class TestPinnedNullCases:
+    """The specific traps, pinned so a pool change never un-tests them."""
+
+    def _selected(self, database, term):
+        relation = database.relation("T")
+        column = term.attribute.split(".", 1)[1]
+        column_type = relation.schema.attribute(column).type
+        condition = compile_term_sql(term, column_type)
+        with SqliteMirror(database) as mirror:
+            rows = mirror._connection.execute(
+                f'SELECT "_qfe_id" FROM "T" WHERE {condition}'
+            ).fetchall()
+        return {row[0] for row in rows}
+
+    def test_not_in_with_null_in_list_still_selects(self):
+        # SQL's ``x NOT IN (1, NULL)`` selects nothing; the evaluator's
+        # selects every row whose value differs from 1. The pushdown must
+        # strip the NULL, not pass it through.
+        database = _database([(2, 1.0, True, "x"), (1, 1.0, True, "x")])
+        term = Term("T.i", ComparisonOp.NOT_IN, (1, None))
+        ids = self._selected(database, term)
+        values = dict(zip(_ids(database.relation("T")),
+                          database.relation("T").column("i")))
+        assert ids == {i for i, v in values.items() if v is not None and v != 1}
+
+    def test_in_with_only_null_matches_nothing(self):
+        database = _database([(None, None, None, None)])
+        term = Term("T.i", ComparisonOp.IN, (None,))
+        assert self._selected(database, term) == set()
+
+    def test_null_rows_fail_equality_against_null_constant(self):
+        # The evaluator is not SQL: NULL == NULL is False, not UNKNOWN,
+        # and NULL != NULL is also False (NULL fails every predicate).
+        database = _database([(None, None, None, None)])
+        assert self._selected(database, Term("T.i", ComparisonOp.EQ, None)) == set()
+
+    def test_ne_null_constant_selects_exactly_non_null_rows(self):
+        database = _database([(None, None, None, None), (7, None, None, None)])
+        ids = self._selected(database, Term("T.i", ComparisonOp.NE, None))
+        values = dict(zip(_ids(database.relation("T")),
+                          database.relation("T").column("i")))
+        assert ids == {i for i, v in values.items() if v is not None}
+
+    def test_ordering_against_null_constant_refuses_to_compile(self):
+        from repro.relational.types import AttributeType
+
+        with pytest.raises(PushdownUnsupportedError):
+            compile_term_sql(Term("T.i", ComparisonOp.LT, None), AttributeType.INTEGER)
+
+    def test_string_literal_never_matches_integers(self):
+        # SQLite's affinity would coerce '1' = 1 to true on a TEXT column
+        # and 1 = '1' on INTEGER; the evaluator never cross-matches.
+        database = _database([(1, 1.0, True, "1")])
+        assert self._selected(database, Term("T.i", ComparisonOp.EQ, "1")) == set()
+        relation = database.relation("T")
+        ids = {
+            i for i, v in zip(_ids(relation), relation.column("s")) if v == "1"
+        }
+        assert self._selected(database, Term("T.s", ComparisonOp.EQ, "1")) == ids
+        assert self._selected(database, Term("T.s", ComparisonOp.EQ, 1)) == set()
+
+    def test_nan_constant_behaves_like_python_not_sql(self):
+        # Python: every comparison against NaN is False except ``!=`` which
+        # is True — so EQ/orderings select nothing, NE selects every
+        # non-NULL row, and NaN inside an IN list is dead weight.
+        database = _database([(0, 0.0, True, "x"), (None, None, None, None)])
+        relation = database.relation("T")
+        non_null_f = {
+            i for i, v in zip(_ids(relation), relation.column("f")) if v is not None
+        }
+        for op in _SCALAR_OPS:
+            selected = self._selected(database, Term("T.f", op, NAN))
+            expected = non_null_f if op is ComparisonOp.NE else set()
+            assert selected == expected, op
+        zero_f = {
+            i for i, v in zip(_ids(relation), relation.column("f")) if v == 0.0
+        }
+        assert self._selected(
+            database, Term("T.f", ComparisonOp.IN, (NAN, 0.0))
+        ) == zero_f
+
+    def test_huge_int_neighbours_stay_exact_through_sql(self):
+        # 2^53 and 2^53 + 1 collapse after a float() round-trip; the SQL
+        # path must keep them apart exactly as the evaluator does.
+        database = _database([(BIG, None, None, None), (BIG + 1, None, None, None)])
+        relation = database.relation("T")
+        by_value = dict(zip(relation.column("i"), _ids(relation)))
+        assert self._selected(database, Term("T.i", ComparisonOp.EQ, BIG)) == {
+            by_value[BIG]
+        }
+        assert self._selected(database, Term("T.i", ComparisonOp.EQ, BIG + 1)) == {
+            by_value[BIG + 1]
+        }

@@ -12,7 +12,7 @@ from repro.scenarios import (
     scenario_workload,
 )
 from repro.scenarios.generator import HUGE_BASE, scenario_queries, scenario_tables
-from repro.sql.sqlite_backend import cross_check
+from repro.sql.sqlite_backend import SQLiteBackend, cross_check
 from repro.workloads import build_pair, workload
 
 _SEED = 1234
@@ -103,8 +103,10 @@ class TestGeneration:
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_sqlite_oracle_agrees_on_every_query(self, name):
         generated = generate_scenario(SCENARIOS[name], 0.15, _SEED)
-        for query in generated.queries:
-            assert cross_check(query, generated.database), str(query)
+        # One mirror connection for the whole workload, not one per query.
+        with SQLiteBackend(generated.database) as backend:
+            for query in generated.queries:
+                assert cross_check(query, generated.database, backend=backend), str(query)
 
     def test_mixed_scenario_exercises_the_huge_int_regime(self):
         generated = generate_scenario(SCENARIOS["mixed"], 0.2, _SEED)

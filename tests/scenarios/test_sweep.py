@@ -32,6 +32,11 @@ class TestRunSweep:
             assert len(point["transcript_sha256"]) == 64
             # workers=0 skips the pooled leg entirely
             assert "pooled_seconds" not in point
+            # the sql-pushdown leg always runs and is checked against serial
+            assert point["sql_seconds"] > 0
+            assert point["transcripts_identical"] is True
+            assert set(point["backend_seconds"]) == {"serial", "sql"}
+            assert point["fastest_backend"] in point["backend_seconds"]
         # the trajectory actually sweeps: row counts grow with scale
         assert trajectory[1]["total_rows"] > trajectory[0]["total_rows"]
 

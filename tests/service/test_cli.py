@@ -12,6 +12,7 @@ class TestServeParser:
         assert args.host == "127.0.0.1"
         assert args.port == 8642
         assert args.workers == 0
+        assert args.backend == "auto"
         assert args.store_dir is None
         assert args.max_live_sessions == 64
         assert args.max_stored_sessions is None
@@ -21,11 +22,13 @@ class TestServeParser:
     def test_full_flag_set(self):
         args = build_parser().parse_args([
             "--host", "0.0.0.0", "--port", "9000", "--workers", "4",
+            "--backend", "sql",
             "--store-dir", "/tmp/ckpt", "--max-live-sessions", "8",
             "--max-stored-sessions", "100", "--session-ttl", "3600",
             "--no-checkpoint", "--verbose",
         ])
         assert (args.host, args.port, args.workers) == ("0.0.0.0", 9000, 4)
+        assert args.backend == "sql"
         assert args.store_dir == "/tmp/ckpt"
         assert (args.max_live_sessions, args.max_stored_sessions) == (8, 100)
         assert args.session_ttl == 3600.0
@@ -33,6 +36,7 @@ class TestServeParser:
 
     @pytest.mark.parametrize("argv", [
         ["--workers", "-1"],
+        ["--backend", "mysql"],
         ["--max-live-sessions", "0"],
         ["--max-stored-sessions", "0"],
         ["--session-ttl", "0"],

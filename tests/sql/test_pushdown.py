@@ -1,0 +1,213 @@
+"""Unit tests for the SQL-pushdown compiler, mirror and round programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BACKEND_CHOICES, QFEConfig, backend_name
+from repro.core.execution_backend import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SqlPushdownBackend,
+    create_backend,
+)
+from repro.relational.database import Database
+from repro.relational.delta import TupleDelta
+from repro.relational.evaluator import evaluate
+from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
+from repro.relational.query import SPJQuery
+from repro.relational.types import AttributeType
+from repro.sql.pushdown import (
+    PushdownExecutionError,
+    PushdownUnsupportedError,
+    SqliteMirror,
+    compile_round,
+    compile_term,
+)
+
+BIG = 2**53
+
+
+def _db() -> Database:
+    return Database.from_tables(
+        {"T": (["i", "f", "s"], [[1, 1.5, "a"], [2, 2.5, "b"], [3, None, "a"]])}
+    )
+
+
+def _count(mirror, table="T") -> int:
+    return mirror._connection.execute(f'SELECT COUNT(*) FROM "{table}"').fetchone()[0]
+
+
+class TestCompileTerm:
+    def test_huge_int_constants_stay_exact(self):
+        sql = compile_term(Term("T.i", ComparisonOp.EQ, BIG + 1), AttributeType.INTEGER)
+        assert str(BIG + 1) in sql
+
+    def test_int_beyond_64_bits_is_refused(self):
+        for constant in (2**63, -(2**63) - 1):
+            with pytest.raises(PushdownUnsupportedError):
+                compile_term(Term("T.i", ComparisonOp.EQ, constant), AttributeType.INTEGER)
+            with pytest.raises(PushdownUnsupportedError):
+                compile_term(
+                    Term("T.i", ComparisonOp.IN, (1, constant)), AttributeType.INTEGER
+                )
+
+    def test_bool_constant_compiles_against_numeric_columns(self):
+        sql = compile_term(Term("T.i", ComparisonOp.EQ, True), AttributeType.INTEGER)
+        assert "TRUE" in sql or "1" in sql
+
+    def test_cross_type_equality_folds_to_false(self):
+        assert compile_term(Term("T.i", ComparisonOp.EQ, "1"), AttributeType.INTEGER) == "0"
+        assert compile_term(Term("T.s", ComparisonOp.EQ, 1), AttributeType.STRING) == "0"
+
+    def test_cross_type_ordering_is_refused(self):
+        with pytest.raises(PushdownUnsupportedError):
+            compile_term(Term("T.s", ComparisonOp.LT, 1), AttributeType.STRING)
+
+
+class TestMirror:
+    def test_rejects_reserved_column_name(self):
+        database = Database.from_tables({"T": (["_qfe_id"], [[1]])})
+        with pytest.raises(PushdownUnsupportedError):
+            SqliteMirror(database)
+
+    def test_attempt_rolls_back_between_attempts(self):
+        with SqliteMirror(_db()) as mirror:
+            delta = TupleDelta()
+            delta.record_delete("T", 0)
+            delta.record_insert("T", 100, (9, 9.0, "z"))
+            with mirror.attempt(delta) as cursor:
+                rows = cursor.execute('SELECT COUNT(*) FROM "T"').fetchone()[0]
+                assert rows == 3  # one delete, one insert
+                present = {
+                    r[0] for r in cursor.execute('SELECT "_qfe_id" FROM "T"')
+                }
+                assert present == {1, 2, 100}
+            # Outside the SAVEPOINT the base state is back, byte for byte.
+            assert _count(mirror) == 3
+            base_ids = {
+                r[0] for r in mirror._connection.execute('SELECT "_qfe_id" FROM "T"')
+            }
+            assert base_ids == {0, 1, 2}
+
+    def test_attempt_rolls_back_even_when_the_body_raises(self):
+        with SqliteMirror(_db()) as mirror:
+            delta = TupleDelta()
+            delta.record_delete("T", 0)
+            with pytest.raises(PushdownExecutionError):
+                with mirror.attempt(delta) as cursor:
+                    cursor.execute("SELECT definitely_not_a_column FROM T")
+            assert _count(mirror) == 3
+
+    def test_update_rewrites_in_place_by_tuple_id(self):
+        with SqliteMirror(_db()) as mirror:
+            delta = TupleDelta()
+            delta.record_update("T", 1, (42, 0.5, "q"))
+            with mirror.attempt(delta) as cursor:
+                row = cursor.execute(
+                    'SELECT "i", "f", "s" FROM "T" WHERE "_qfe_id" = 1'
+                ).fetchone()
+                assert row == (42, 0.5, "q")
+
+    def test_oversized_delta_integer_fails_the_attempt_not_the_mirror(self):
+        with SqliteMirror(_db()) as mirror:
+            delta = TupleDelta()
+            delta.record_insert("T", 100, (2**63, 0.0, "z"))
+            with pytest.raises(PushdownExecutionError):
+                with mirror.attempt(delta):
+                    pass
+            # The mirror survives and the base is intact for the next attempt.
+            assert _count(mirror) == 3
+
+
+class TestRoundProgram:
+    def _queries(self):
+        return [
+            SPJQuery(
+                ["T"], ["T.i"],
+                DNFPredicate.from_terms([Term("T.f", ComparisonOp.GT, 1.0)]),
+            ),
+            SPJQuery(
+                ["T"], ["T.i"],
+                DNFPredicate.from_terms([Term("T.s", ComparisonOp.EQ, "a")]),
+            ),
+            SPJQuery(
+                ["T"], ["T.s"],
+                DNFPredicate.from_terms([Term("T.i", ComparisonOp.GE, 1)]),
+                distinct=True,
+            ),
+        ]
+
+    def test_queries_sharing_a_signature_share_one_statement(self):
+        program = compile_round(self._queries(), _db())
+        assert len(program.statements) == 1
+        assert program.query_count == 3
+
+    def test_fingerprint_equality_matches_bag_equality(self):
+        database = _db()
+        queries = self._queries()
+        program = compile_round(queries, database)
+        with SqliteMirror(database) as mirror:
+            with mirror.attempt(TupleDelta()) as cursor:
+                fingerprints = program.fingerprints(cursor)
+        results = [evaluate(q, database) for q in queries]
+        for a in range(len(queries)):
+            for b in range(len(queries)):
+                same_rows = results[a].bag_equal(results[b])
+                assert (fingerprints[a] == fingerprints[b]) == same_rows, (a, b)
+
+    def test_distinct_query_fingerprints_collapse_duplicates(self):
+        database = _db()
+        plain = SPJQuery(["T"], ["T.s"])
+        distinct = SPJQuery(["T"], ["T.s"], distinct=True)
+        program = compile_round([plain, distinct], database)
+        with SqliteMirror(database) as mirror:
+            with mirror.attempt(TupleDelta()) as cursor:
+                fp_plain, fp_distinct = program.fingerprints(cursor)
+        assert fp_plain != fp_distinct  # "a" appears twice vs once
+        assert dict(fp_distinct)[("a",)] == 1
+
+    def test_uncompilable_predicate_refuses_the_whole_round(self):
+        bad = SPJQuery(
+            ["T"], ["T.i"],
+            DNFPredicate.from_terms([Term("T.s", ComparisonOp.LT, 5)]),
+        )
+        with pytest.raises(PushdownUnsupportedError):
+            compile_round([bad], _db())
+
+
+class TestBackendFactory:
+    def test_each_name_maps_to_its_backend(self):
+        assert isinstance(create_backend(0, "serial"), SerialBackend)
+        assert isinstance(create_backend(0, "sql"), SqlPushdownBackend)
+        pool = create_backend(0, "process")
+        try:
+            assert isinstance(pool, ProcessPoolBackend)
+        finally:
+            pool.close()
+
+    def test_auto_preserves_the_historical_worker_rule(self):
+        assert isinstance(create_backend(0, "auto"), SerialBackend)
+        assert isinstance(create_backend(None, "auto"), SerialBackend)
+        pool = create_backend(3, "auto")
+        try:
+            assert isinstance(pool, ProcessPoolBackend)
+        finally:
+            pool.close()
+
+    def test_unknown_name_is_rejected_with_the_choices(self):
+        with pytest.raises(ValueError, match="serial"):
+            create_backend(0, "bogus")
+        with pytest.raises(ValueError):
+            backend_name("SQLite")
+        assert backend_name(" SQL ") == "sql"
+        assert set(BACKEND_CHOICES) == {"auto", "serial", "process", "sql"}
+
+    def test_config_validates_backend_at_construction(self):
+        assert QFEConfig(backend="sql").backend == "sql"
+        with pytest.raises(ValueError, match="backend"):
+            QFEConfig(backend="bogus")
+
+    def test_backends_are_context_managers(self):
+        with create_backend(0, "sql") as backend:
+            assert backend.name == "sql-pushdown"

@@ -53,8 +53,10 @@ class TestCrossCheck:
         assert cross_check(join_query, two_table_db)
 
     def test_cross_check_workload_queries(self, scientific_db):
-        for query in scientific_queries().values():
-            assert cross_check(query, scientific_db)
+        # One mirror connection for the whole run, released deterministically.
+        with SQLiteBackend(scientific_db) as backend:
+            for query in scientific_queries().values():
+                assert cross_check(query, scientific_db, backend=backend)
 
     def test_our_evaluator_matches_sqlite_with_nulls(self, two_table_db):
         query = SPJQuery(
