@@ -9,6 +9,13 @@ in ``QFE_SCENARIO_SCALES`` (comma-separated, default ``0.1,0.25``; CI sweeps
 and written to ``benchmarks/BENCH_scenarios.json``, which CI uploads as an
 artifact so the scaling trajectory is tracked across PRs.
 
+Two slow-marked scale-10 checks ride in the same file (CI runs them as a
+separate ``-m slow`` step): a ``mixed@10`` sweep smoke over the serial and
+SQL-pushdown backends whose storage/memory figures are merged into the
+``BENCH_scenarios.json`` artifact, and the bench guard pinning that a
+selective ``term_mask`` on the typed layout (warm sorted-index path) beats
+the object-column full scan at scale 10.
+
 (The tier-1 fast guard for the engine's invariants — serial vs pooled
 transcript bit-identity and oracle agreement — lives in
 ``tests/integration/test_scenario_differential.py``, not here.)
@@ -18,12 +25,16 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 import pytest
 
-from benchmarks.conftest import run_once
-from repro.scenarios import SCENARIOS, run_sweep
+from benchmarks.conftest import measure_peak, run_once
+from repro.relational.columnar import ColumnarView, ColumnarViewReference
+from repro.relational.join import foreign_key_join
+from repro.relational.predicates import ComparisonOp, Term
+from repro.scenarios import SCENARIOS, generate_scenario, get_scenario, run_sweep
 
 SCENARIO_SCALES = [
     float(part)
@@ -76,3 +87,114 @@ def test_write_scenarios_trajectory_file():
     )
     on_disk = json.loads(BENCH_SCENARIOS_PATH.read_text())
     assert set(on_disk["scenarios"]) == set(_MERGED)
+
+
+# ----------------------------------------------------------- scale-10 checks
+_SMOKE_SCALE = 10.0
+
+
+def _merge_into_trajectory_file(key: str, entry: dict) -> None:
+    """Add one scenario entry to ``BENCH_scenarios.json`` without clobbering.
+
+    The smoke runs in its own ``-m slow`` pytest session after the main
+    sweep, so it must compose with — not overwrite — the trajectory file the
+    sweep session wrote.
+    """
+    payload: dict = {"scales": [], "scenarios": {}}
+    if BENCH_SCENARIOS_PATH.exists():
+        try:
+            payload = json.loads(BENCH_SCENARIOS_PATH.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            pass
+    payload.setdefault("scenarios", {})[key] = entry
+    BENCH_SCENARIOS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="scenario-sweep-smoke")
+def test_bench_mixed_scale10_smoke(benchmark, record_group_memory):
+    """Full mixed@10 sweep point on the serial + SQL-pushdown backends.
+
+    ``workers=0`` skips the pooled leg (the in-process engine and the
+    pushdown oracle are the two layouts this smoke compares); the point's
+    storage measurements — bytes per joined row typed vs object, tracemalloc
+    peak, selective term-mask timings — land in the uploaded artifacts.
+    """
+    payload = run_once(
+        benchmark,
+        run_sweep,
+        ["mixed"],
+        [_SMOKE_SCALE],
+        seed=SCENARIO_SEED,
+        workers=0,
+        out_path=None,
+    )
+    entry = payload["scenarios"]["mixed"]
+    (point,) = entry["trajectory"]
+    assert point["transcripts_identical"] is True
+    assert set(point["backend_seconds"]) >= {"serial", "sql"}
+    # The footprint acceptance line: typed storage ≥ 4× leaner per joined row.
+    assert point["bytes_per_joined_row_typed"] * 4 <= point["bytes_per_joined_row_object"]
+    record_group_memory(
+        "scenario-sweep-smoke",
+        scale=_SMOKE_SCALE,
+        join_rows=point.get("join_rows"),
+        bytes_per_joined_row_typed=point.get("bytes_per_joined_row_typed"),
+        bytes_per_joined_row_object=point.get("bytes_per_joined_row_object"),
+        storage_reduction=point.get("storage_reduction"),
+        typed_peak_tracemalloc_bytes=point.get("typed_peak_tracemalloc_bytes"),
+    )
+    _merge_into_trajectory_file(f"mixed@{_SMOKE_SCALE:g}x", entry)
+    benchmark.extra_info["trajectory"] = entry["trajectory"]
+
+
+@pytest.mark.slow
+def test_selective_term_mask_beats_full_scan_at_scale10(record_group_memory):
+    """Bench guard: the warm sorted-index path must beat the object full scan.
+
+    Measures the steady-state cost of *building* a selective equality mask
+    (distinct constants each round, mask cache cleared, so the term-mask
+    cache never short-circuits the comparison) on the typed layout versus
+    the boxed object-tuple reference, best-of-5, at scenario scale 10.
+    """
+    generated = generate_scenario(get_scenario("mixed"), _SMOKE_SCALE, SCENARIO_SEED)
+    joined = foreign_key_join(generated.database, tuple(generated.target.tables))
+    relation = joined.relation
+    id_column = next(
+        name for name in relation.schema.attribute_names if name.endswith(".id")
+    )
+    constants = sorted(set(relation.column(id_column)))[: 40]
+    assert len(constants) >= 10
+
+    typed_view, typed_peak = measure_peak(ColumnarView, relation)
+    reference_view = ColumnarViewReference(relation)
+    terms = [Term(id_column, ComparisonOp.EQ, constant) for constant in constants]
+    typed_view.term_mask(terms[0])  # pay the lazy sorted-index build once
+
+    def best_of(view, rounds=5):
+        best = float("inf")
+        masks = None
+        for _ in range(rounds):
+            view.clear_term_masks()
+            started = time.perf_counter()
+            masks = [view.term_mask(term) for term in terms]
+            best = min(best, time.perf_counter() - started)
+        return best / len(terms), masks
+
+    typed_seconds, typed_masks = best_of(typed_view)
+    object_seconds, object_masks = best_of(reference_view)
+    assert typed_masks == object_masks  # differential first, stopwatch second
+    assert typed_seconds < object_seconds, (
+        f"typed selective term_mask ({typed_seconds * 1e6:.1f}us/term) no faster "
+        f"than the object full scan ({object_seconds * 1e6:.1f}us/term) "
+        f"over {len(relation.tuples)} joined rows"
+    )
+    record_group_memory(
+        "scenario-sweep-smoke",
+        term_mask_selective_warm_seconds_typed=typed_seconds,
+        term_mask_selective_warm_seconds_object=object_seconds,
+        term_mask_selective_warm_speedup=object_seconds / typed_seconds,
+        typed_view_peak_tracemalloc_bytes=typed_peak,
+    )

@@ -494,6 +494,11 @@ class ProcessPoolBackend(ExecutionBackend):
         self._mp_context = mp_context
         self._executor: ProcessPoolExecutor | None = None
         self._snapshot: BaseSnapshot | None = None
+        #: Size of the last pickled snapshot broadcast to the pool, or None
+        #: before the first seed. Diagnostics: with typed column storage the
+        #: dominant payload is the base relations' tuples, and the figure is
+        #: what every worker pays to rehydrate on a re-seed.
+        self.last_snapshot_bytes: int | None = None
         # Guards executor lifecycle and the wave loop: a pool shared across
         # sessions must run one round at a time (rounds still use every
         # worker; cross-session concurrency lives in the human think time).
@@ -523,11 +528,13 @@ class ProcessPoolBackend(ExecutionBackend):
             )
         if self._executor is None or snapshot is not self._snapshot:
             self.close()
+            payload = snapshot.to_bytes()
+            self.last_snapshot_bytes = len(payload)
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=self._context(),
                 initializer=_process_worker_initialize,
-                initargs=(snapshot.to_bytes(),),
+                initargs=(payload,),
             )
             self._snapshot = snapshot
         return self._executor

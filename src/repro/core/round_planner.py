@@ -177,6 +177,18 @@ class RoundPlanner:
         """Release backend resources (worker pools); the planner stays usable."""
         self.backend.close()
 
+    def memory_report(self) -> dict:
+        """Resident storage footprint of the session's cached joins.
+
+        Delegates to :meth:`~repro.relational.evaluator.JoinCache.\
+        memory_report`: per cached join, the typed-column (or boxed-object)
+        bytes of its built columnar view, plus the bytes-per-joined-row
+        aggregate. Never forces a view build, so calling it between rounds is
+        free — the service layer and the scenario sweep use it to report the
+        engine's in-memory footprint alongside timings.
+        """
+        return self.join_cache.memory_report()
+
     # ------------------------------------------------------------- snapshotting
     def _snapshot_for(
         self, database: Database, signatures: Sequence[tuple[str, ...]]

@@ -7,7 +7,7 @@ joins with join indexes and provenance, SPJ/SPJU query evaluation, the Section
 checking.
 """
 
-from repro.relational.columnar import ColumnarView
+from repro.relational.columnar import COLUMNAR_STATS, ColumnarView, ColumnarViewReference
 from repro.relational.database import Database
 from repro.relational.delta import (
     DatabaseDelta,
@@ -70,6 +70,8 @@ __all__ = [
     "compile_term",
     "compile_predicate",
     "ColumnarView",
+    "ColumnarViewReference",
+    "COLUMNAR_STATS",
     "evaluate",
     "evaluate_on_join",
     "evaluate_on_join_reference",

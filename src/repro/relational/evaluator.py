@@ -317,9 +317,11 @@ class BaseSnapshot:
     :data:`~repro.relational.join.JOIN_STATS`.
 
     Pickling drops every non-picklable memo along the way (compiled term
-    tests, cached term masks, join indexes are rebuilt on rehydration — see
-    ``JoinedRelation.__getstate__`` and ``ColumnarView.__getstate__``), so a
-    snapshot round-trips through ``pickle`` by construction.
+    tests, cached term masks, join indexes, and the columnar views — whose
+    typed buffers, zone maps and sorted term indexes are rebuilt lazily on
+    rehydration — see ``JoinedRelation.__getstate__`` and
+    ``ColumnarView.__getstate__``), so a snapshot round-trips through
+    ``pickle`` by construction.
     """
 
     database: Database
@@ -702,6 +704,38 @@ class JoinCache:
     def derived_link_count(self) -> int:
         """Number of live delta-derivation links (diagnostics and tests)."""
         return len(self._links)
+
+    def memory_report(self) -> dict:
+        """Aggregate storage footprint of every cached join's columnar view.
+
+        Only views that were already built are counted — reporting never
+        forces a build — and a join adopted under several cache keys is
+        counted once. The per-view entries carry the join signature plus the
+        :meth:`~repro.relational.columnar.ColumnarView.memory_report`
+        breakdown, so sessions (and the scenario sweep) can attribute the
+        resident typed-buffer bytes to the joins that own them.
+        """
+        views: list[dict] = []
+        seen: set[int] = set()
+        for (database_id, signature), joined in sorted(
+            self._cache.items(), key=lambda item: (item[0][1], item[0][0])
+        ):
+            if id(joined) in seen:
+                continue
+            seen.add(id(joined))
+            report = joined.columnar_memory_report()
+            if report is None:
+                continue
+            views.append({"signature": list(signature), **report})
+        total_bytes = sum(view["total_bytes"] for view in views)
+        total_rows = sum(view["row_count"] for view in views)
+        return {
+            "view_count": len(views),
+            "total_bytes": total_bytes,
+            "joined_rows": total_rows,
+            "bytes_per_joined_row": (total_bytes / total_rows) if total_rows else None,
+            "views": views,
+        }
 
     def clear(self) -> None:
         """Drop all cached joins and delta-derivation links."""

@@ -31,6 +31,8 @@ from repro.relational.types import float_literal
 
 __all__ = [
     "ComparisonOp",
+    "ORDERING_OPS",
+    "MEMBERSHIP_OPS",
     "Term",
     "Conjunct",
     "DNFPredicate",
@@ -58,12 +60,12 @@ class ComparisonOp(enum.Enum):
     @property
     def is_ordering(self) -> bool:
         """Whether the operator relies on an ordered domain."""
-        return self in (ComparisonOp.LT, ComparisonOp.LE, ComparisonOp.GT, ComparisonOp.GE)
+        return self in ORDERING_OPS
 
     @property
     def is_membership(self) -> bool:
         """Whether the operator compares against a set of constants."""
-        return self in (ComparisonOp.IN, ComparisonOp.NOT_IN)
+        return self in MEMBERSHIP_OPS
 
     def negate(self) -> "ComparisonOp":
         """The complementary operator (used by query mutation)."""
@@ -77,6 +79,17 @@ class ComparisonOp(enum.Enum):
             ComparisonOp.IN: ComparisonOp.NOT_IN,
             ComparisonOp.NOT_IN: ComparisonOp.IN,
         }[self]
+
+
+#: Operators that rely on an ordered domain — the ones the typed columnar
+#: layer can serve from zone maps and the sorted term index, and the ones
+#: whose compiled tests may raise on cross-type comparisons.
+ORDERING_OPS = frozenset(
+    {ComparisonOp.LT, ComparisonOp.LE, ComparisonOp.GT, ComparisonOp.GE}
+)
+
+#: Operators that compare against a set of constants.
+MEMBERSHIP_OPS = frozenset({ComparisonOp.IN, ComparisonOp.NOT_IN})
 
 
 # Ordering comparisons use Python's exact cross-type ``<``/``<=`` on raw

@@ -12,11 +12,19 @@ For every requested ``(scenario, scale)`` the sweep
    oracle (the PR-3/PR-4 differential contract, extended to every generated
    scenario and every backend);
 4. **measures** the cold vs delta-derived candidate-evaluation paths over
-   the same candidate set;
+   the same candidate set, plus the storage layer itself: bytes per joined
+   row under the typed columnar layout vs the object-tuple reference layout,
+   tracemalloc peak while building the typed view, and the time to build a
+   selective term mask on each layout (the zone-map/sorted-index fast path
+   vs the full compiled scan);
 5. **records** the whole per-scale trajectory — row counts, join size,
    session rounds, per-backend seconds with a ``fastest_backend`` pick,
-   cold/delta seconds, transcript hash — into
+   cold/delta seconds, memory figures, transcript hash — into
    ``benchmarks/BENCH_scenarios.json``.
+
+Scales 10–100× are in scope for the storage figures: the typed layout keeps
+millions of joined rows resident at a few dozen bytes per row, which is what
+makes ``--scales 10,100`` sessions routine on one machine.
 
 A transcript divergence or an oracle disagreement raises
 :class:`ScenarioDivergenceError`: the sweep is a verification harness first
@@ -28,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tracemalloc
 from pathlib import Path
 from typing import Sequence
 
@@ -36,8 +45,9 @@ from repro.core.execution_backend import ProcessPoolBackend, SqlPushdownBackend
 from repro.core.timing import Stopwatch
 from repro.exceptions import EvaluationError
 from repro.qbo.mutation import expand_candidate_set
-from repro.relational.columnar import ColumnarView
+from repro.relational.columnar import ColumnarView, ColumnarViewReference
 from repro.relational.delta import TupleDelta
+from repro.relational.predicates import ComparisonOp, Term
 from repro.relational.evaluator import JoinCache, evaluate_batch
 from repro.relational.join import foreign_key_join
 from repro.relational.types import AttributeType
@@ -163,6 +173,97 @@ def _measure_eval_paths(generated: GeneratedScenario, candidates, joined) -> dic
     }
 
 
+def _selective_terms(relation) -> tuple[Term, Term] | None:
+    """Two distinct selective equality terms on an id column of the join.
+
+    Spine id values are (near-)unique per base row, so an equality term
+    selects only the join fanout of one tuple — the selective case the
+    sorted term index exists for. Two distinct constants are needed because
+    the first term also pays the lazy index build (reported separately).
+    """
+    for name in relation.schema.attribute_names:
+        if not name.endswith(".id"):
+            continue
+        values = relation.column(name)
+        first = values[len(values) // 3]
+        second = values[(2 * len(values)) // 3]
+        if first is None or second is None or first == second:
+            continue
+        return (
+            Term(name, ComparisonOp.EQ, first),
+            Term(name, ComparisonOp.EQ, second),
+        )
+    return None
+
+
+def _measure_storage(generated: GeneratedScenario, joined) -> dict:
+    """Quantify the typed columnar layout against the object-tuple reference.
+
+    Builds both views over the same joined relation and records bytes per
+    joined row for each, the tracemalloc peak while constructing (and first
+    querying) the typed view, and the time to build one selective term mask
+    per layout — cold (typed pays the lazy sorted-index build) and warm
+    (index in place). The masks themselves are compared bit-for-bit: the
+    sweep stays a verification harness first.
+    """
+    relation = joined.relation
+    measurements: dict = {}
+    terms = _selective_terms(relation)
+    watch = Stopwatch()
+
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    watch.restart()
+    typed_view = ColumnarView(relation)
+    measurements["typed_view_build_seconds"] = watch.restart()
+    typed_masks = None
+    if terms is not None:
+        cold_term, warm_term = terms
+        watch.restart()
+        cold_mask = typed_view.term_mask(cold_term)  # pays the index build
+        measurements["term_mask_selective_cold_seconds_typed"] = watch.restart()
+        warm_mask = typed_view.term_mask(warm_term)
+        measurements["term_mask_selective_seconds_typed"] = watch.restart()
+        typed_masks = (cold_mask, warm_mask)
+    typed_report = typed_view.memory_report()
+    if not already_tracing:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        measurements["typed_peak_tracemalloc_bytes"] = peak
+
+    watch.restart()
+    reference_view = ColumnarViewReference(relation)
+    measurements["object_view_build_seconds"] = watch.restart()
+    if terms is not None and typed_masks is not None:
+        cold_term, warm_term = terms
+        watch.restart()
+        reference_cold = reference_view.term_mask(cold_term)
+        measurements["term_mask_selective_cold_seconds_object"] = watch.restart()
+        reference_warm = reference_view.term_mask(warm_term)
+        measurements["term_mask_selective_seconds_object"] = watch.restart()
+        if typed_masks != (reference_cold, reference_warm):
+            raise ScenarioDivergenceError(
+                f"scenario {generated.spec.name!r} @ scale {generated.scale}: typed "
+                f"and object-layout term masks diverged on {terms[0].attribute}"
+            )
+        object_seconds = measurements["term_mask_selective_seconds_object"]
+        typed_seconds = measurements["term_mask_selective_seconds_typed"]
+        measurements["term_mask_selective_speedup"] = (
+            object_seconds / typed_seconds if typed_seconds > 0 else None
+        )
+    reference_report = reference_view.memory_report()
+
+    typed_bytes = typed_report["bytes_per_row"]
+    object_bytes = reference_report["bytes_per_row"]
+    measurements["bytes_per_joined_row_typed"] = typed_bytes
+    measurements["bytes_per_joined_row_object"] = object_bytes
+    measurements["storage_reduction"] = (
+        object_bytes / typed_bytes if typed_bytes > 0 else None
+    )
+    return measurements
+
+
 def _session_point(generated, result, candidates, *, workers, backend, workload_name):
     """Run one session; returns (wall seconds, canonical transcript JSON, run)."""
     from repro.experiments.runner import run_session
@@ -195,6 +296,7 @@ def run_sweep(
     candidate_count: int = 8,
     verify_oracle: bool = True,
     measure_eval_paths: bool = True,
+    measure_storage: bool = True,
     out_path: str | os.PathLike | None = DEFAULT_BENCH_PATH,
 ) -> dict:
     """Sweep the named scenarios (default: the full catalog) across *scales*.
@@ -293,6 +395,8 @@ def run_sweep(
 
                 if measure_eval_paths:
                     point.update(_measure_eval_paths(generated, candidates, joined))
+                if measure_storage:
+                    point.update(_measure_storage(generated, joined))
                 trajectory.append(point)
             payload["scenarios"][spec.name] = {
                 "spec": spec.to_json(),
@@ -321,12 +425,13 @@ def sweep_table(payload: dict):
         columns=[
             "scenario", "scale", "rows", "join rows", "|R|", "cands", "iters",
             "serial s", "pooled s", "sql s", "fastest", "cold s", "delta s",
-            "identical",
+            "B/row", "mem x", "identical",
         ],
         caption=(
             "Per-scale trajectory of generated scenarios: full QFE sessions on the "
             "serial, process-pool and sql-pushdown backends (canonical transcripts "
-            "bit-identical), plus cold vs delta-derived candidate evaluation."
+            "bit-identical), plus cold vs delta-derived candidate evaluation and "
+            "typed-vs-object storage bytes per joined row."
         ),
     )
     for name, entry in sorted(payload["scenarios"].items()):
@@ -345,6 +450,10 @@ def sweep_table(payload: dict):
                 point.get("fastest_backend", "-"),
                 round(point["cold_eval_seconds"], 4) if "cold_eval_seconds" in point else "-",
                 round(point["delta_eval_seconds"], 4) if "delta_eval_seconds" in point else "-",
+                round(point["bytes_per_joined_row_typed"], 1)
+                if "bytes_per_joined_row_typed" in point else "-",
+                round(point["storage_reduction"], 2)
+                if point.get("storage_reduction") else "-",
                 point.get("transcripts_identical", "-"),
             )
     return table

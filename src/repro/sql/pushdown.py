@@ -56,12 +56,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
+from repro.relational.columnar import BoolColumn, build_typed_column, mask_positions
 from repro.relational.database import Database
 from repro.relational.delta import TupleDelta
 from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
 from repro.relational.query import SPJQuery
+from repro.relational.relation import Relation
 from repro.relational.schema import TableSchema
-from repro.relational.types import AttributeType, canonical_value
+from repro.relational.types import INT64_MAX, INT64_MIN, AttributeType, canonical_value
 from repro.sql.render import OP_SQL, render_from_clause, render_identifier, render_value
 
 __all__ = [
@@ -79,9 +81,10 @@ __all__ = [
 #: The rowid-aliased column mapping ``tuple_id`` onto SQLite row addressing.
 _ID_COLUMN = "_qfe_id"
 
-#: SQLite INTEGER literals (and bound parameters) are 64-bit.
-_INT64_MIN = -(2**63)
-_INT64_MAX = 2**63 - 1
+#: SQLite INTEGER literals (and bound parameters) are 64-bit — the same
+#: bounds as the typed int column buffer (see repro.relational.types).
+_INT64_MIN = INT64_MIN
+_INT64_MAX = INT64_MAX
 
 
 class PushdownUnsupportedError(Exception):
@@ -274,13 +277,7 @@ class SqliteMirror:
             placeholders = ", ".join("?" for _ in range(len(names) + 1))
             insert_sql = f'INSERT INTO "{schema.name}" VALUES ({placeholders})'
             try:
-                cursor.executemany(
-                    insert_sql,
-                    [
-                        (t.tuple_id, *_encode_row(t.values))
-                        for t in relation.tuples
-                    ],
-                )
+                cursor.executemany(insert_sql, _bulk_rows(relation))
             except OverflowError as exc:
                 raise PushdownUnsupportedError(
                     f"table {schema.name!r} holds an integer outside SQLite's "
@@ -372,6 +369,45 @@ class SqliteMirror:
 
 def _encode_row(row: Sequence[Any]) -> tuple:
     return tuple(int(v) if isinstance(v, bool) else v for v in row)
+
+
+def _bulk_rows(relation: Relation) -> Iterator[tuple]:
+    """Encode a base relation column-major through the typed column buffers.
+
+    The bulk load is the one place the mirror touches every cell of the base
+    database, so it reuses the compact columnar layer: int64/float64 columns
+    unbox through C-level ``array.tolist``, dictionary strings through a map
+    over the code array, and bit-packed bools fan the truth mask out into
+    0/1 INTEGERs. Per-value Python work is confined to side-table cells
+    (NULLs, out-of-int64 ints — which SQLite's binding layer still rejects
+    with ``OverflowError`` → :class:`PushdownUnsupportedError`) and to
+    columns that fell back to the object layout.
+    """
+    tuples = relation.tuples
+    if not tuples:
+        return iter(())
+    raw_columns = list(zip(*(t.values for t in tuples)))
+    encoded_columns: list[list[Any]] = []
+    for attribute, values in zip(relation.schema.attributes, raw_columns):
+        typed = build_typed_column(attribute.type, values)
+        if typed is None:
+            encoded_columns.append([int(v) if isinstance(v, bool) else v for v in values])
+            continue
+        if isinstance(typed, BoolColumn):
+            encoded = [0] * len(values)
+            for position in mask_positions(typed.truth_mask):
+                encoded[position] = 1
+            for position in mask_positions(typed.special_mask):
+                value = values[position]
+                encoded[position] = int(value) if isinstance(value, bool) else value
+        else:
+            encoded = typed.boxed()
+            for position in mask_positions(typed.special_mask):
+                value = encoded[position]
+                if isinstance(value, bool):
+                    encoded[position] = int(value)
+        encoded_columns.append(encoded)
+    return zip((t.tuple_id for t in tuples), *encoded_columns)
 
 
 # ------------------------------------------------------------------ the round

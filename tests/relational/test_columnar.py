@@ -16,7 +16,14 @@ from hypothesis import strategies as st
 
 from repro.exceptions import EvaluationError
 from repro.qbo.mutation import mutate_candidates
-from repro.relational.columnar import ColumnarView, mask_count, mask_positions, pack_bools
+from repro.relational.columnar import (
+    ColumnarView,
+    mask_count,
+    mask_from_positions,
+    mask_positions,
+    pack_bools,
+    pack_bools_reference,
+)
 from repro.relational.database import Database
 from repro.relational.evaluator import (
     evaluate_batch,
@@ -59,6 +66,35 @@ class TestMaskHelpers:
         mask = pack_bools(flags)
         assert mask_positions(mask) == [i for i, f in enumerate(flags) if f]
         assert mask_count(mask) == sum(flags)
+
+    def test_sparse_positions_match_dense_path(self):
+        # Few set bits spread over a huge bit range → the bit-stripping
+        # sparse path; pinned against the dense bin()-scan equivalent.
+        positions = [0, 7, 4_099, 54_321, 400_000]
+        mask = mask_from_positions(positions)
+        assert mask.bit_count() * 16 <= mask.bit_length()  # sparse path taken
+        assert mask_positions(mask) == positions
+        dense = [i for i, ch in enumerate(bin(mask)[:1:-1]) if ch == "1"]
+        assert mask_positions(mask) == dense
+
+    @given(st.sets(st.integers(min_value=0, max_value=300_000), max_size=14))
+    @settings(max_examples=50, deadline=None)
+    def test_sparse_positions_property(self, positions):
+        expected = sorted(positions)
+        mask = mask_from_positions(expected)
+        assert mask_positions(mask) == expected
+        assert mask_count(mask) == len(expected)
+
+    @given(st.lists(st.booleans(), max_size=1200))
+    @settings(max_examples=60, deadline=None)
+    def test_pack_bools_matches_reference_oracle(self, flags):
+        # The chunked int.from_bytes packer against the per-bit shift loop.
+        assert pack_bools(flags) == pack_bools_reference(flags)
+
+    def test_mask_from_positions_inverse(self):
+        assert mask_from_positions([], 0) == 0
+        assert mask_from_positions([1, 3], 8) == 0b1010
+        assert mask_from_positions(iter([0, 2])) == 0b101
 
 
 # ------------------------------------------------------------ compiled terms

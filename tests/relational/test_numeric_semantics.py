@@ -7,15 +7,23 @@ closures, the columnar batch masks, and the SQLite oracle — over mixed
 agree. This is the contract the scenario engine leans on: a single wrong
 comparison silently corrupts partition signatures and with them the whole
 QFE interaction transcript.
+
+The columnar path now runs on typed compact storage, so the masks here are
+additionally checked against the boxed object-column oracle
+(:class:`ColumnarViewReference`) — including the regimes only the typed
+representation could get wrong: the beyond-int64 boxed side table, NULL
+bitmap semantics, NaN constants, and dictionary-encoded string comparisons.
 """
 
 from __future__ import annotations
+
+import math
 
 import hypothesis.strategies as st
 import pytest
 from hypothesis import HealthCheck, given, settings
 
-from repro.relational.columnar import ColumnarView, pack_bools
+from repro.relational.columnar import ColumnarView, ColumnarViewReference, pack_bools
 from repro.relational.database import Database
 from repro.relational.evaluator import evaluate
 from repro.relational.predicates import ComparisonOp, DNFPredicate, Term, compile_term
@@ -32,13 +40,24 @@ BIG = 2**53
 
 # Per-column value pools (mixed representations of the same numbers, plus the
 # 2^53 neighbourhood; columns stay type-homogeneous as the engine requires).
-_INT_VALUES = [0, 1, 2, -1, BIG - 1, BIG, BIG + 1]
+_INT_VALUES = [0, 1, 2, -1, BIG - 1, BIG, BIG + 1, None]
 _FLOAT_VALUES = [0.0, 1.0, 0.5, 2.0, -1.0, 0.1234567, float(BIG), None]
 _BOOL_VALUES = [True, False]
+_STRING_VALUES = ["", "IT", "Sales", "aa", "zz", None]
 
 # Constants deliberately cross type boundaries: bools against numeric
-# columns, ints against floats, floats against ints, 2^53 ± 1.
+# columns, ints against floats, floats against ints, 2^53 ± 1. String
+# columns draw string constants (dictionary hits, misses, and bounds) —
+# cross-type *ordering* on strings errors in our engine but not in SQL, so
+# that regime lives in the typed-vs-reference property below instead.
 _CONSTANTS = [True, False, 0, 1, 1.0, 0.0, 2, 0.5, 0.1234567, BIG, BIG + 1, float(BIG)]
+_STRING_CONSTANTS = ["", "IT", "M", "zz", "zzz", "Sales"]
+_CONSTANT_POOLS = {
+    "i": _CONSTANTS,
+    "f": _CONSTANTS,
+    "b": _CONSTANTS,
+    "s": _STRING_CONSTANTS,
+}
 
 _SCALAR_OPS = [
     ComparisonOp.EQ,
@@ -53,17 +72,20 @@ _row = st.tuples(
     st.sampled_from(_INT_VALUES),
     st.sampled_from(_FLOAT_VALUES),
     st.sampled_from(_BOOL_VALUES),
+    st.sampled_from(_STRING_VALUES),
 )
-_term_spec = st.tuples(
-    st.sampled_from(["i", "f", "b"]),
-    st.sampled_from(_SCALAR_OPS + [ComparisonOp.IN, ComparisonOp.NOT_IN]),
-    st.sampled_from(_CONSTANTS),
-    st.sampled_from(_CONSTANTS),  # second member for IN/NOT IN
+_term_spec = st.sampled_from(["i", "f", "b", "s"]).flatmap(
+    lambda column: st.tuples(
+        st.just(column),
+        st.sampled_from(_SCALAR_OPS + [ComparisonOp.IN, ComparisonOp.NOT_IN]),
+        st.sampled_from(_CONSTANT_POOLS[column]),
+        st.sampled_from(_CONSTANT_POOLS[column]),  # second member for IN/NOT IN
+    )
 )
 
 
 def _database(rows) -> Database:
-    return Database.from_tables({"T": (["i", "f", "b"], [list(r) for r in rows])})
+    return Database.from_tables({"T": (["i", "f", "b", "s"], [list(r) for r in rows])})
 
 
 class TestFourPathConsistency:
@@ -83,13 +105,18 @@ class TestFourPathConsistency:
         interpreted = [qualified.evaluate_value(v) for v in values]
         assert [compiled(v) for v in values] == interpreted
 
-        # Path 3: the columnar term mask, bit for bit.
+        # Path 3: the typed columnar term mask, bit for bit — and identical
+        # (mask, error mask, error) state on the object-column oracle.
         bare = Term(column, op, constant)
         view = ColumnarView(relation)
         assert view.term_mask(bare) == pack_bools(interpreted)
+        reference = ColumnarViewReference(relation)
+        assert view._term_entry(bare)[:2] == reference._term_entry(bare)[:2]
 
         # Path 4: the SQLite oracle on the rendered SQL.
-        query = SPJQuery(["T"], ["T.i", "T.f", "T.b"], DNFPredicate.from_terms([qualified]))
+        query = SPJQuery(
+            ["T"], ["T.i", "T.f", "T.b", "T.s"], DNFPredicate.from_terms([qualified])
+        )
         ours = evaluate(query, database)
         with SQLiteBackend(database) as backend:
             theirs = backend.execute(query)
@@ -104,6 +131,89 @@ class TestFourPathConsistency:
         with SQLiteBackend(database) as backend:
             theirs = backend.execute(query)
         assert ours.set_equal(theirs)
+
+
+#: Value/constant pools for the typed-vs-reference property: everything the
+#: SQLite path cannot express — beyond-int64 integers (boxed side table),
+#: NaN/inf constants, cross-type ordering on string columns (engine errors).
+_EXTREME_INT_VALUES = [0, -1, BIG + 1, 2**63 - 1, 2**63, -(2**64), 7, None]
+_EXTREME_CONSTANTS = [
+    0,
+    2**63,
+    2**63 - 1,
+    -(2**64),
+    BIG + 1,
+    math.nan,
+    math.inf,
+    -math.inf,
+    1.5,
+    "IT",
+    True,
+    None,
+]
+_extreme_row = st.tuples(
+    st.sampled_from(_EXTREME_INT_VALUES),
+    st.sampled_from(_STRING_VALUES),
+)
+_extreme_spec = st.tuples(
+    st.sampled_from(["i", "s"]),
+    st.sampled_from(_SCALAR_OPS + [ComparisonOp.IN, ComparisonOp.NOT_IN]),
+    st.sampled_from(_EXTREME_CONSTANTS),
+    st.sampled_from(_EXTREME_CONSTANTS),
+)
+
+
+class TestTypedVsReferenceExtremes:
+    """Typed columns must match the boxed oracle where SQL cannot follow."""
+
+    @_SETTINGS
+    @given(rows=st.lists(_extreme_row, min_size=1, max_size=12), spec=_extreme_spec)
+    def test_typed_matches_object_oracle(self, rows, spec):
+        column, op, constant, second = spec
+        if op.is_membership:
+            constant = (constant, second)
+        relation = Database.from_tables(
+            {"T": (["i", "s"], [list(r) for r in rows])}
+        ).relation("T")
+        term = Term(column, op, constant)
+        typed = ColumnarView(relation)
+        reference = ColumnarViewReference(relation)
+        typed_mask, typed_errors, typed_error = typed._term_entry(term)
+        ref_mask, ref_errors, ref_error = reference._term_entry(term)
+        assert (typed_mask, typed_errors) == (ref_mask, ref_errors)
+        assert str(typed_error) == str(ref_error)  # exact interpreter message
+
+    def test_overflow_side_table_round_trips_through_masks(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8, 2**63, -(2**64), BIG, BIG + 1]
+        relation = Database.from_tables(
+            {"T": (["i"], [[v] for v in values])}
+        ).relation("T")
+        view = ColumnarView(relation)
+        assert view.term_mask(Term("i", ComparisonOp.EQ, 2**63)) == 1 << 8
+        assert view.term_mask(Term("i", ComparisonOp.GT, BIG + 1)) == 1 << 8
+        assert view.term_mask(Term("i", ComparisonOp.LT, 0)) == 1 << 9
+        # 2^63 is a power of two, so the double equals the boxed int exactly
+        # — cross-type equality must stay mathematically exact, not bitwise.
+        assert view.term_mask(Term("i", ComparisonOp.EQ, float(2**63))) == 1 << 8
+        # 2^53 + 1 is *not* double-representable: float(2^53 + 1) rounds to
+        # 2^53, so the float constant selects row 2^53 and only it.
+        assert view.term_mask(Term("i", ComparisonOp.EQ, float(BIG + 1))) == 1 << 10
+        assert view.term_mask(Term("i", ComparisonOp.EQ, BIG + 1)) == 1 << 11
+
+    def test_nan_constant_bitmap_semantics(self):
+        relation = Database.from_tables(
+            {"T": (["f"], [[0.0], [1.5], [None], [-2.0]])}
+        ).relation("T")
+        view = ColumnarView(relation)
+        reference = ColumnarViewReference(relation)
+        for op in _SCALAR_OPS:
+            term = Term("f", op, math.nan)
+            # NaN compares False to everything and never errors; NULLs stay
+            # filtered. NE is the one truth-bearing case: x != NaN is True
+            # for every non-NULL x.
+            assert view._term_entry(term) == reference._term_entry(term)
+            expected = view.all_rows_mask & ~(1 << 2) if op is ComparisonOp.NE else 0
+            assert view.term_mask(term) == expected
 
 
 class TestCacheKeyAliasing:
