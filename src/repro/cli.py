@@ -35,6 +35,7 @@ from repro.core import (
 from repro.core.config import BACKEND_CHOICES, backend_name, nonnegative_int
 from repro.datasets import adult, baseball, employee, scientific
 from repro.exceptions import ReproError
+from repro.obs.trace import start_tracing, stop_tracing
 from repro.qbo import QBOConfig
 from repro.relational.csv_io import database_from_csv_directory, relation_from_csv_file
 from repro.relational.database import Database
@@ -93,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--transcript-out", type=str, default=None, metavar="PATH",
         help="write the machine-readable session transcript (rounds, deltas, "
              "choices, timings) as JSON to this file",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="write round-lifecycle spans as JSON lines to this file "
+             "(inspect with `qfe-trace summary PATH`; tracing never changes "
+             "the session's transcript)",
     )
     return parser
 
@@ -199,11 +206,17 @@ def main(argv: Sequence[str] | None = None, *, output=None) -> int:
         ),
         qbo_config=QBOConfig(threshold_variants=2, max_candidates=args.max_candidates),
     )
+    if args.trace_out:
+        start_tracing(args.trace_out)
     try:
         outcome = session.run(selector)
     except ReproError as error:
         print(f"error: {error}", file=output)
         return 1
+    finally:
+        if args.trace_out:
+            stop_tracing()
+            print(f"Trace written to {args.trace_out}", file=output)
 
     if args.transcript_out:
         _write_transcript(session, args.transcript_out, output)

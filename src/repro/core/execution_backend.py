@@ -44,6 +44,8 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.config import BACKEND_CHOICES, QFEConfig, backend_name
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import get_tracer
 from repro.core.materialize import materialize_pairs
 from repro.core.modification import ClassPair
 from repro.core.partitioner import partition_signature
@@ -436,16 +438,23 @@ def _process_worker_initialize(payload: bytes) -> None:
 
 def _process_worker_run(
     token: str, context_payload: bytes, unit: WorkUnit
-) -> tuple[AttemptOutcome, ...]:
+) -> tuple[tuple[AttemptOutcome, ...], dict]:
     """Score one work unit against the rehydrated snapshot (worker-side).
 
     ``context_payload`` is the round context pre-pickled once by the driver;
     a worker unpickles it only for the first unit of a round it sees and
     reuses the cached context (and its built runtime) for every later unit
     of the same token.
+
+    Returns ``(outcomes, counter_deltas)``: the worker snapshots the metrics
+    registry around the evaluation and ships the counter increments back with
+    the outcomes, so instrumentation raised in this child process (zone-map
+    skips, join delta-applies, ...) is merged into the driver's registry
+    instead of dying with the worker.
     """
     if _WORKER_DATABASE is None or _WORKER_CACHE is None:  # pragma: no cover - defensive
         raise RuntimeError("worker process was not initialized with a base snapshot")
+    counters_before = REGISTRY.counter_values()
     cached = _WORKER_ROUNDS.get(token)
     if cached is None:
         context: RoundContext = pickle.loads(context_payload)
@@ -454,7 +463,8 @@ def _process_worker_run(
         _WORKER_ROUNDS[token] = (context, runtime)
     else:
         context, runtime = cached
-    return evaluate_work_unit(runtime, context, unit)
+    outcomes = evaluate_work_unit(runtime, context, unit)
+    return outcomes, REGISTRY.counter_deltas(counters_before)
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -551,7 +561,11 @@ class ProcessPoolBackend(ExecutionBackend):
     def _run_attempts_locked(
         self, setup: RoundSetup, attempts: Sequence[Attempt], *, stop_at_first: bool
     ) -> list[AttemptOutcome]:
-        executor = self._ensure_executor(setup)
+        tracer = get_tracer()
+        with tracer.span("backend.broadcast", backend=self.name) as broadcast_span:
+            executor = self._ensure_executor(setup)
+            if tracer.enabled and self.last_snapshot_bytes is not None:
+                broadcast_span.set(snapshot_bytes=self.last_snapshot_bytes)
         if stop_at_first:
             # Single-attempt units: early exit wastes at most one wave.
             units = shard_attempts(attempts, len(attempts))
@@ -567,16 +581,24 @@ class ProcessPoolBackend(ExecutionBackend):
         # is a few KB per submit of already-pickled bytes, not re-pickling.
         context_payload = pickle.dumps(setup.context, protocol=pickle.HIGHEST_PROTOCOL)
         outcomes_by_unit: dict[int, tuple[AttemptOutcome, ...]] = {}
+        counter_deltas: list[dict] = []
         position = 0
         try:
             while position < len(units):
                 wave = units[position : position + wave_size]
-                futures = [
-                    executor.submit(_process_worker_run, token, context_payload, unit)
-                    for unit in wave
-                ]
-                for unit, future in zip(wave, futures):
-                    outcomes_by_unit[unit.index] = future.result()
+                with tracer.span(
+                    "backend.wave", backend=self.name, units=len(wave)
+                ):
+                    futures = [
+                        executor.submit(
+                            _process_worker_run, token, context_payload, unit
+                        )
+                        for unit in wave
+                    ]
+                    for unit, future in zip(wave, futures):
+                        outcomes_by_unit[unit.index], deltas = future.result()
+                        if deltas:
+                            counter_deltas.append(deltas)
                 position += len(wave)
                 if stop_at_first and any(
                     outcome.applied and outcome.distinguishes
@@ -590,9 +612,15 @@ class ProcessPoolBackend(ExecutionBackend):
             # instead of resubmitting to a dead one forever.
             self.close()
             raise
-        merged: list[AttemptOutcome] = []
-        for index in sorted(outcomes_by_unit):
-            merged.extend(outcomes_by_unit[index])
+        with tracer.span("backend.merge", backend=self.name):
+            # Worker-side counter increments merge as commutative sums, so
+            # the totals are independent of worker scheduling; outcomes merge
+            # by unit index, never by completion order.
+            for deltas in counter_deltas:
+                REGISTRY.merge_counter_deltas(deltas)
+            merged: list[AttemptOutcome] = []
+            for index in sorted(outcomes_by_unit):
+                merged.extend(outcomes_by_unit[index])
         return merged
 
     def close(self) -> None:

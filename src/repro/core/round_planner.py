@@ -52,6 +52,7 @@ from repro.core.subset_selection import ScoreFunction, SubsetSelectionResult, pi
 from repro.core.timing import Stopwatch
 from repro.core.tuple_class import TupleClassSpace
 from repro.exceptions import DatabaseGenerationError
+from repro.obs.trace import get_tracer
 from repro.relational.database import Database
 from repro.relational.evaluator import BaseSnapshot, JoinCache, SharedSnapshotCache
 from repro.relational.query import SPJQuery
@@ -205,6 +206,15 @@ class RoundPlanner:
         """Run the driver-side prologue and lay out the attempt sequence."""
         if len(queries) < 2:
             raise DatabaseGenerationError("need at least two candidate queries to distinguish")
+        with get_tracer().span("round.prepare", candidates=len(queries)):
+            return self._prepare_round(original, result, queries)
+
+    def _prepare_round(
+        self,
+        original: Database,
+        result: Relation,
+        queries: Sequence[SPJQuery],
+    ) -> RoundPlan:
         config = self.config
         queries = tuple(queries)
 
@@ -308,7 +318,10 @@ class RoundPlanner:
             winner_store=winner_store,
         )
         chosen = plan.attempts if attempts is None else tuple(attempts)
-        return active.run_attempts(setup, chosen, stop_at_first=stop_at_first)
+        with get_tracer().span(
+            "round.search", backend=active.name, attempts=len(chosen)
+        ):
+            return active.run_attempts(setup, chosen, stop_at_first=stop_at_first)
 
     def score_candidates(
         self,
@@ -378,29 +391,34 @@ class RoundPlanner:
         # re-materialized here — materialization is a deterministic function
         # of (space, pairs, config), so this reproduces exactly the database
         # the winning outcome scored.
-        materialization = batch = None
-        if winner_store.get("attempt_index") == winner.attempt_index:
-            materialization = winner_store.get("materialization")
-            batch = winner_store.get("batch")
-        if materialization is None:
-            materialization = materialize_pairs(plan.space, winner.pairs, original, self.config)
-            if materialization.delta.is_update_only and not materialization.delta.is_empty:
-                self.join_cache.derive(original, materialization.delta, materialization.database)
-        if batch is not None:
-            partition = partition_from_batch(plan.context.queries, batch)
-        else:
-            partition = partition_queries(
-                plan.context.queries,
-                materialization.database,
-                set_semantics=self.config.set_semantics,
-                result_name=plan.context.result_name,
-                join_cache=self.join_cache,
-            )
-        if not partition.distinguishes:  # pragma: no cover - determinism guard
-            raise DatabaseGenerationError(
-                "winning attempt no longer distinguishes on re-materialization; "
-                "attempt evaluation is expected to be deterministic"
-            )
+        with get_tracer().span("round.materialize", attempt=winner.attempt_index):
+            materialization = batch = None
+            if winner_store.get("attempt_index") == winner.attempt_index:
+                materialization = winner_store.get("materialization")
+                batch = winner_store.get("batch")
+            if materialization is None:
+                materialization = materialize_pairs(
+                    plan.space, winner.pairs, original, self.config
+                )
+                if materialization.delta.is_update_only and not materialization.delta.is_empty:
+                    self.join_cache.derive(
+                        original, materialization.delta, materialization.database
+                    )
+            if batch is not None:
+                partition = partition_from_batch(plan.context.queries, batch)
+            else:
+                partition = partition_queries(
+                    plan.context.queries,
+                    materialization.database,
+                    set_semantics=self.config.set_semantics,
+                    result_name=plan.context.result_name,
+                    join_cache=self.join_cache,
+                )
+            if not partition.distinguishes:  # pragma: no cover - determinism guard
+                raise DatabaseGenerationError(
+                    "winning attempt no longer distinguishes on re-materialization; "
+                    "attempt evaluation is expected to be deterministic"
+                )
         materialize_seconds = watch.elapsed()
         chosen_pairs = tuple(winner.pairs)
         return DatabaseGenerationResult(

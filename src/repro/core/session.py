@@ -43,6 +43,7 @@ from repro.core.feedback import NONE_OF_THE_ABOVE, FeedbackRound, ResultSelector
 from repro.core.partitioner import QueryPartition
 from repro.core.subset_selection import ScoreFunction
 from repro.exceptions import DatabaseGenerationError, FeedbackError, QFESessionError
+from repro.obs.trace import get_tracer
 from repro.qbo.config import QBOConfig
 from repro.qbo.generator import QueryGenerator
 from repro.qbo.mutation import expand_candidate_set
@@ -374,18 +375,27 @@ class QFESession:
 
         self._iteration += 1
         watch = Stopwatch()
-        try:
-            generation = self._generator.generate(self.database, self.result, candidates)
-        except DatabaseGenerationError:
-            # The remaining candidates cannot be distinguished by any
-            # modification within budget; report them all.
-            self._result.exhausted = True
-            self._finalize()
-            return None
+        tracer = get_tracer()
+        with tracer.span(
+            "session.propose", iteration=self._iteration, candidates=len(candidates)
+        ):
+            try:
+                generation = self._generator.generate(self.database, self.result, candidates)
+            except DatabaseGenerationError:
+                # The remaining candidates cannot be distinguished by any
+                # modification within budget; report them all.
+                self._result.exhausted = True
+                self._finalize()
+                return None
 
-        round_ = build_feedback_round(
-            self._iteration, self.database, self.result, generation.database, generation.partition
-        )
+            with tracer.span("round.present"):
+                round_ = build_feedback_round(
+                    self._iteration,
+                    self.database,
+                    self.result,
+                    generation.database,
+                    generation.partition,
+                )
         self.last_rounds.append(round_)
         # The round's presentation data (results, deltas) is fully
         # materialized; release D' from the join cache so a session that
@@ -419,41 +429,44 @@ class QFESession:
             raise QFESessionError("no pending round: call propose() first")
         candidates = self._candidates or []
 
-        if choice == NONE_OF_THE_ABOVE:
-            replenished = self._replenish_candidates(candidates)
-            if len(replenished) == len(candidates):
-                raise FeedbackError(
-                    "user rejected every presented result and no further candidate "
-                    "queries could be generated"
+        with get_tracer().span(
+            "session.submit", iteration=pending.iteration, choice=choice
+        ):
+            if choice == NONE_OF_THE_ABOVE:
+                replenished = self._replenish_candidates(candidates)
+                if len(replenished) == len(candidates):
+                    raise FeedbackError(
+                        "user rejected every presented result and no further candidate "
+                        "queries could be generated"
+                    )
+                self._candidates = replenished
+                self._pending = None
+                return StepResult(
+                    status="replenished",
+                    record=None,
+                    remaining_candidates=len(replenished),
+                    done=False,
                 )
-            self._candidates = replenished
+
+            if not 0 <= choice < pending.partition.group_count:
+                raise FeedbackError(f"selector returned invalid option index {choice}")
+
+            chosen_group = pending.partition.groups[choice]
+            record = self._record_iteration(pending, choice, chosen_group.queries)
+            self._result.iterations.append(record)
+            self._candidates = list(chosen_group.queries)
             self._pending = None
+            if len(self._candidates) == 1:
+                self._finalize()
+                return StepResult(
+                    status="converged", record=record, remaining_candidates=1, done=True
+                )
             return StepResult(
-                status="replenished",
-                record=None,
-                remaining_candidates=len(replenished),
+                status="chosen",
+                record=record,
+                remaining_candidates=len(self._candidates),
                 done=False,
             )
-
-        if not 0 <= choice < pending.partition.group_count:
-            raise FeedbackError(f"selector returned invalid option index {choice}")
-
-        chosen_group = pending.partition.groups[choice]
-        record = self._record_iteration(pending, choice, chosen_group.queries)
-        self._result.iterations.append(record)
-        self._candidates = list(chosen_group.queries)
-        self._pending = None
-        if len(self._candidates) == 1:
-            self._finalize()
-            return StepResult(
-                status="converged", record=record, remaining_candidates=1, done=True
-            )
-        return StepResult(
-            status="chosen",
-            record=record,
-            remaining_candidates=len(self._candidates),
-            done=False,
-        )
 
     def reset(self) -> None:
         """Discard all interaction state; the next round starts from scratch."""

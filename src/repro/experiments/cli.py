@@ -26,6 +26,7 @@ from typing import Callable, Sequence
 
 from repro.core.config import BACKEND_CHOICES, backend_name, nonnegative_int
 from repro.experiments import studies, tables
+from repro.obs.trace import start_tracing, stop_tracing
 from repro.experiments.report import ExperimentTable, render_tables
 from repro.experiments.runner import (
     set_default_backend,
@@ -106,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable transcript of every session the "
              "experiment runs (rounds, deltas, choices, timings) as one JSON "
              "array to this file",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write round-lifecycle spans for every session the experiment "
+             "runs as JSON lines to this file (inspect with "
+             "`qfe-trace summary PATH`; tracing never changes results)",
     )
     scenario_group = parser.add_argument_group(
         "scenario sweep", "options for the 'scenarios' experiment"
@@ -219,9 +229,21 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
 
-    if args.experiment == "scenarios":
-        return _run_scenarios(args)
+    # The tracer is installed process-wide for the whole experiment (every
+    # session the run spawns contributes spans) and always uninstalled on the
+    # way out so library callers of main() never inherit it.
+    if args.trace_out:
+        start_tracing(args.trace_out)
+    try:
+        if args.experiment == "scenarios":
+            return _run_scenarios(args)
+        return _run_tables(args)
+    finally:
+        if args.trace_out:
+            stop_tracing()
 
+
+def _run_tables(args) -> int:
     # When given, install the worker count process-wide so every table/study
     # session's round planner picks it up; restore afterwards (library
     # callers of main() must not inherit the CLI's setting). When omitted,

@@ -1,0 +1,112 @@
+"""Prometheus text exposition (format version 0.0.4) for metric registries.
+
+:func:`render_prometheus` turns one or more :class:`MetricsRegistry`
+instances into the plain-text format scraped by Prometheus::
+
+    # HELP qfe_join_full_joins Full hash-join rebuilds.
+    # TYPE qfe_join_full_joins counter
+    qfe_join_full_joins 3
+    # HELP qfe_service_round_latency_seconds Per-round service latency.
+    # TYPE qfe_service_round_latency_seconds histogram
+    qfe_service_round_latency_seconds_bucket{le="0.005"} 1
+    ...
+    qfe_service_round_latency_seconds_bucket{le="+Inf"} 4
+    qfe_service_round_latency_seconds_sum 0.123
+    qfe_service_round_latency_seconds_count 4
+
+The service passes its private per-manager registry plus the process-wide
+default registry; when the same metric name appears in several registries,
+the first occurrence wins (the private registry is authoritative for
+service metrics).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "PROMETHEUS_CONTENT_TYPE"]
+
+#: The Content-Type the exposition endpoint answers with.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            # Integral floats render without the trailing ".0" Prometheus
+            # clients don't emit either.
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _labels_text(names: tuple[str, ...], values: tuple, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(*registries: MetricsRegistry) -> str:
+    """Render every instrument of *registries* as exposition text.
+
+    Duplicate metric names across registries keep the first registry's
+    series only, so a private service registry can shadow the global one.
+    """
+    lines: list[str] = []
+    seen: set[str] = set()
+    for registry in registries:
+        for instrument in registry.instruments():
+            if instrument.name in seen:
+                continue
+            seen.add(instrument.name)
+            if instrument.help:
+                lines.append(f"# HELP {instrument.name} {_escape_help(instrument.help)}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            if isinstance(instrument, Histogram):
+                _render_histogram(lines, instrument)
+            elif isinstance(instrument, (Counter, Gauge)):
+                _render_scalar(lines, instrument)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _render_scalar(lines: list[str], instrument: Counter) -> None:
+    series = instrument.series()
+    if not series and not instrument.label_names:
+        series = {(): 0}
+    for key in sorted(series):
+        labels = _labels_text(instrument.label_names, key)
+        lines.append(f"{instrument.name}{labels} {_format_value(series[key])}")
+
+
+def _render_histogram(lines: list[str], instrument: Histogram) -> None:
+    series = instrument.series()
+    if not series and not instrument.label_names:
+        series = {(): instrument.snapshot()}
+    for key in sorted(series):
+        snapshot = series[key]
+        for bound, cumulative in snapshot["buckets"]:
+            le = "+Inf" if math.isinf(bound) else _format_value(bound)
+            labels = _labels_text(
+                instrument.label_names, key, extra=f'le="{le}"'
+            )
+            lines.append(f"{instrument.name}_bucket{labels} {cumulative}")
+        labels = _labels_text(instrument.label_names, key)
+        lines.append(f"{instrument.name}_sum{labels} {_format_value(snapshot['sum'])}")
+        lines.append(f"{instrument.name}_count{labels} {snapshot['count']}")

@@ -59,6 +59,7 @@ from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import EvaluationError
+from repro.obs.registry import RegistryStats
 from repro.relational.predicates import (
     ORDERING_OPS as _ORDERING_OPS,
     Conjunct,
@@ -109,13 +110,17 @@ _SPARSE_POSITIONS_FACTOR = 16
 _MISSING = object()
 
 
-class ColumnarStats:
+class ColumnarStats(RegistryStats):
     """Process-wide counters for typed-column storage behaviour.
 
     Purely diagnostic: benchmarks and tests use these to pin that the
     acceleration structures (sorted term index, zone maps) actually engage.
+    Registry-backed (``qfe_columnar_*``), so increments made inside pool
+    workers are merged back to the driver after each round instead of being
+    lost with the child process.
     """
 
+    _PREFIX = "qfe_columnar"
     _FIELDS = (
         "typed_columns",
         "object_columns",
@@ -128,21 +133,18 @@ class ColumnarStats:
         "zone_block_skips",
         "zone_boundary_rows",
     )
-    __slots__ = _FIELDS
-
-    def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        for field in self._FIELDS:
-            setattr(self, field, 0)
-
-    def snapshot(self) -> dict[str, int]:
-        return {field: getattr(self, field) for field in self._FIELDS}
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        body = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
-        return f"ColumnarStats({body})"
+    _HELP = {
+        "typed_columns": "Columns stored in typed compact form.",
+        "object_columns": "Columns kept as plain object tuples.",
+        "typed_term_masks": "Term masks answered from typed columns.",
+        "fallback_term_scans": "Term masks computed by row scan fallback.",
+        "index_builds": "Sorted term index builds.",
+        "index_probes": "Sorted term index probes.",
+        "zone_builds": "Zone map builds.",
+        "zone_block_fills": "Zone blocks answered wholesale (all-match).",
+        "zone_block_skips": "Zone blocks skipped wholesale (no-match).",
+        "zone_boundary_rows": "Rows tested individually at zone boundaries.",
+    }
 
 
 COLUMNAR_STATS = ColumnarStats()

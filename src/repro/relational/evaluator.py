@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.exceptions import UnsupportedQueryError
+from repro.obs.trace import get_tracer
 from repro.relational.columnar import ColumnarView, mask_positions
 from repro.relational.database import Database
 from repro.relational.join import JoinedRelation, foreign_key_join
@@ -591,13 +592,14 @@ class JoinCache:
         base_id, derived_id = id(base), id(derived)
         if base_id == derived_id:
             raise ValueError("cannot derive a database from itself")
-        self._links[derived_id] = (base_id, weakref.ref(base), delta)
-        self._children.setdefault(base_id, set()).add(derived_id)
-        self._watch(base)
-        self._watch(derived)
-        if tables is not None:
-            return self.join_for(derived, tables)
-        return None
+        with get_tracer().span("join.derive", eager=tables is not None):
+            self._links[derived_id] = (base_id, weakref.ref(base), delta)
+            self._children.setdefault(base_id, set()).add(derived_id)
+            self._watch(base)
+            self._watch(derived)
+            if tables is not None:
+                return self.join_for(derived, tables)
+            return None
 
     def _watch(self, database: Database) -> None:
         """Evict the database's entries when it is deallocated (id-reuse guard)."""

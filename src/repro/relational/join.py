@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from repro.exceptions import SchemaError
+from repro.obs.registry import RegistryStats
 from repro.relational.database import Database
 from repro.relational.relation import Relation, Tuple
 from repro.relational.schema import Attribute, ForeignKey, TableSchema, qualify
@@ -33,8 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (delta imports nothin
 __all__ = ["JoinedRelation", "JoinMaintenanceStats", "JOIN_STATS", "foreign_key_join", "full_join"]
 
 
-@dataclass
-class JoinMaintenanceStats:
+class JoinMaintenanceStats(RegistryStats):
     """Process-wide counters instrumenting join construction vs maintenance.
 
     ``full_joins`` counts cold :func:`foreign_key_join` materializations;
@@ -42,15 +42,19 @@ class JoinMaintenanceStats:
     derivations. The benchmark regression guard pins the delta-derive
     evaluation path to *zero* full rebuilds, so a silent fallback to cold
     behaviour fails a fast test instead of only showing up as a slow bench.
+
+    Registry-backed: the values live in ``qfe_join_*`` counters of the
+    process-wide metrics registry, so worker increments merge back to the
+    driver and the Prometheus endpoint sees them — while every historical
+    call site (``JOIN_STATS.full_joins += 1``) keeps working unchanged.
     """
 
-    full_joins: int = 0
-    delta_applies: int = 0
-
-    def reset(self) -> None:
-        """Zero all counters (tests/benchmarks call this before measuring)."""
-        self.full_joins = 0
-        self.delta_applies = 0
+    _PREFIX = "qfe_join"
+    _FIELDS = ("full_joins", "delta_applies")
+    _HELP = {
+        "full_joins": "Cold foreign-key join materializations.",
+        "delta_applies": "Incremental join derivations via apply_delta.",
+    }
 
     def snapshot(self) -> tuple[int, int]:
         """``(full_joins, delta_applies)`` at this moment."""

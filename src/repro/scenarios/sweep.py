@@ -265,26 +265,41 @@ def _measure_storage(generated: GeneratedScenario, joined) -> dict:
 
 
 def _session_point(generated, result, candidates, *, workers, backend, workload_name):
-    """Run one session; returns (wall seconds, canonical transcript JSON, run)."""
+    """Run one session; returns (wall seconds, canonical transcript JSON, run,
+    per-phase seconds).
+
+    Each point runs under a private in-memory tracer (the previous tracer is
+    restored afterwards), so the recorded trajectory can attribute every
+    backend's wall-clock to prepare/ship/evaluate/merge phases — tracing does
+    not perturb transcripts, which the sweep's own bit-identity checks
+    enforce on every point.
+    """
     from repro.experiments.runner import run_session
+    from repro.obs.summary import aggregate_phases
+    from repro.obs.trace import Tracer, set_tracer
     from repro.service.checkpoint import transcript_json
 
     watch = Stopwatch()
-    run = run_session(
-        generated.database,
-        result,
-        generated.target,
-        candidates=candidates,
-        config=_SWEEP_CONFIG,
-        feedback="worst",
-        workload_name=workload_name,
-        scale=generated.scale,
-        workers=workers,
-        backend=backend,
-        capture_transcript=True,
-    )
+    spans: list = []
+    previous = set_tracer(Tracer(spans))
+    try:
+        run = run_session(
+            generated.database,
+            result,
+            generated.target,
+            candidates=candidates,
+            config=_SWEEP_CONFIG,
+            feedback="worst",
+            workload_name=workload_name,
+            scale=generated.scale,
+            workers=workers,
+            backend=backend,
+            capture_transcript=True,
+        )
+    finally:
+        set_tracer(previous)
     seconds = watch.elapsed()
-    return seconds, transcript_json(run.transcript), run
+    return seconds, transcript_json(run.transcript), run, aggregate_phases(spans)
 
 
 def run_sweep(
@@ -346,10 +361,11 @@ def run_sweep(
                 point["result_rows"] = len(result)
                 point["candidates"] = len(candidates)
 
-                serial_seconds, serial_json, serial_run = _session_point(
+                serial_seconds, serial_json, serial_run, serial_phases = _session_point(
                     generated, result, candidates,
                     workers=0, backend=None, workload_name=workload_name,
                 )
+                phase_seconds = {"serial": serial_phases}
                 point["iterations"] = serial_run.iteration_count
                 point["converged"] = serial_run.session.converged
                 point["serial_seconds"] = serial_seconds
@@ -358,10 +374,11 @@ def run_sweep(
                 ).hexdigest()
 
                 if pool is not None:
-                    pooled_seconds, pooled_json, _ = _session_point(
+                    pooled_seconds, pooled_json, _, pooled_phases = _session_point(
                         generated, result, candidates,
                         workers=None, backend=pool, workload_name=workload_name,
                     )
+                    phase_seconds["process"] = pooled_phases
                     if pooled_json != serial_json:
                         raise ScenarioDivergenceError(
                             f"scenario {spec.name!r} @ scale {scale}: pooled transcript "
@@ -373,10 +390,11 @@ def run_sweep(
                         serial_seconds / pooled_seconds if pooled_seconds > 0 else None
                     )
 
-                sql_seconds, sql_json, _ = _session_point(
+                sql_seconds, sql_json, _, sql_phases = _session_point(
                     generated, result, candidates,
                     workers=None, backend=sql, workload_name=workload_name,
                 )
+                phase_seconds["sql"] = sql_phases
                 if sql_json != serial_json:
                     raise ScenarioDivergenceError(
                         f"scenario {spec.name!r} @ scale {scale}: sql-pushdown "
@@ -392,6 +410,10 @@ def run_sweep(
                     backend_seconds["process"] = point["pooled_seconds"]
                 point["backend_seconds"] = backend_seconds
                 point["fastest_backend"] = min(backend_seconds, key=backend_seconds.get)
+                # Per-backend phase attribution (prepare/ship/evaluate/merge/
+                # materialize/present/other seconds) — the *why* behind
+                # fastest_backend in the recorded trajectory.
+                point["phase_seconds"] = phase_seconds
 
                 if measure_eval_paths:
                     point.update(_measure_eval_paths(generated, candidates, joined))

@@ -55,6 +55,7 @@ from typing import Any, Sequence
 from repro.core.feedback import FeedbackRound
 from repro.core.session import IterationRecord, QFESession, SessionResult
 from repro.exceptions import CheckpointError
+from repro.obs.trace import get_tracer
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
@@ -142,30 +143,31 @@ def capture_checkpoint(
     reference; otherwise (``None`` or :meth:`DatabaseRef.inline`) the live
     ``database``/``result`` objects are pickled into the payload.
     """
-    ref = database_ref if database_ref is not None else DatabaseRef.inline()
-    state = session.capture_state()
-    payload: dict[str, Any] = {"state": state}
-    if ref.kind == "inline":
-        payload["database"] = session.database
-        payload["result"] = session.result
-    header = {
-        "magic": CHECKPOINT_MAGIC,
-        "version": CHECKPOINT_VERSION,
-        "session_id": session_id,
-        "status": session.status,
-        "iteration": state["iteration"],
-        "remaining_candidates": (
-            len(state["candidates"]) if state["candidates"] is not None else None
-        ),
-        "database_ref": ref.to_json(),
-        "metadata": metadata or {},
-    }
-    try:
-        header_line = json.dumps(header, sort_keys=True).encode("utf-8")
-        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    except (TypeError, ValueError, pickle.PicklingError) as exc:
-        raise CheckpointError(f"session state cannot be serialized: {exc}") from exc
-    return header_line + b"\n" + body
+    with get_tracer().span("checkpoint.write", session_id=session_id):
+        ref = database_ref if database_ref is not None else DatabaseRef.inline()
+        state = session.capture_state()
+        payload: dict[str, Any] = {"state": state}
+        if ref.kind == "inline":
+            payload["database"] = session.database
+            payload["result"] = session.result
+        header = {
+            "magic": CHECKPOINT_MAGIC,
+            "version": CHECKPOINT_VERSION,
+            "session_id": session_id,
+            "status": session.status,
+            "iteration": state["iteration"],
+            "remaining_candidates": (
+                len(state["candidates"]) if state["candidates"] is not None else None
+            ),
+            "database_ref": ref.to_json(),
+            "metadata": metadata or {},
+        }
+        try:
+            header_line = json.dumps(header, sort_keys=True).encode("utf-8")
+            body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except (TypeError, ValueError, pickle.PicklingError) as exc:
+            raise CheckpointError(f"session state cannot be serialized: {exc}") from exc
+        return header_line + b"\n" + body
 
 
 def read_checkpoint_header(blob: bytes) -> dict:
@@ -207,36 +209,37 @@ def restore_checkpoint(
     rebuild. Process-local resources (score function, backend, caches) are
     never checkpointed and always come from the caller.
     """
-    header = read_checkpoint_header(blob)
-    body = blob[blob.find(b"\n") + 1 :]
-    try:
-        payload = pickle.loads(body)
-        state = payload["state"]
-    except Exception as exc:
-        raise CheckpointError(f"checkpoint payload is corrupt: {exc}") from exc
-    if database is None or result is None:
-        if payload.get("database") is not None:
-            database = payload["database"]
-            result = payload["result"]
-        else:
-            ref = DatabaseRef.from_json(header.get("database_ref") or {})
-            if ref.kind != "workload":
-                raise CheckpointError(
-                    "checkpoint embeds no example pair and has no workload "
-                    "reference; pass database= and result= explicitly"
-                )
-            database, result = ref.build()
-    session = QFESession.from_state(
-        database,
-        result,
-        state,
-        score=score,
-        workers=workers,
-        backend=backend,
-        join_cache=join_cache,
-        snapshot_cache=snapshot_cache,
-    )
-    return session, header
+    with get_tracer().span("checkpoint.restore"):
+        header = read_checkpoint_header(blob)
+        body = blob[blob.find(b"\n") + 1 :]
+        try:
+            payload = pickle.loads(body)
+            state = payload["state"]
+        except Exception as exc:
+            raise CheckpointError(f"checkpoint payload is corrupt: {exc}") from exc
+        if database is None or result is None:
+            if payload.get("database") is not None:
+                database = payload["database"]
+                result = payload["result"]
+            else:
+                ref = DatabaseRef.from_json(header.get("database_ref") or {})
+                if ref.kind != "workload":
+                    raise CheckpointError(
+                        "checkpoint embeds no example pair and has no workload "
+                        "reference; pass database= and result= explicitly"
+                    )
+                database, result = ref.build()
+        session = QFESession.from_state(
+            database,
+            result,
+            state,
+            score=score,
+            workers=workers,
+            backend=backend,
+            join_cache=join_cache,
+            snapshot_cache=snapshot_cache,
+        )
+        return session, header
 
 
 # ------------------------------------------------------------------ transcript

@@ -78,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-checkpoint", action="store_true",
         help="with --store-dir: do not checkpoint after every step (only on shutdown)",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write round-lifecycle spans for every request the server "
+             "handles as JSON lines to this file (inspect with "
+             "`qfe-trace summary PATH`)",
+    )
     parser.add_argument("--verbose", action="store_true", help="log every HTTP request")
     return parser
 
@@ -115,6 +121,11 @@ def main(argv: Sequence[str] | None = None, *, output=None) -> int:
         file=output,
         flush=True,
     )
+    if args.trace_out:
+        from repro.obs.trace import start_tracing
+
+        start_tracing(args.trace_out)
+        print(f"tracing spans to {args.trace_out}", file=output, flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -126,6 +137,10 @@ def main(argv: Sequence[str] | None = None, *, output=None) -> int:
             pass
         server.server_close()
         manager.close()
+        if args.trace_out:
+            from repro.obs.trace import stop_tracing
+
+            stop_tracing()
     return 0
 
 

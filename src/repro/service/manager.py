@@ -43,7 +43,6 @@ from __future__ import annotations
 import threading
 import time
 import uuid
-from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
@@ -51,7 +50,10 @@ from typing import Iterator, Sequence
 from repro.core.config import QFEConfig
 from repro.core.execution_backend import ExecutionBackend, create_backend
 from repro.core.session import PendingRound, QFESession, StepResult
+from repro.core.timing import Stopwatch
 from repro.exceptions import ServiceError, SessionNotFound
+from repro.obs.exposition import render_prometheus
+from repro.obs.registry import REGISTRY, MetricsRegistry, RegistryStats
 from repro.qbo.config import QBOConfig
 from repro.relational.database import Database
 from repro.relational.evaluator import JoinCache, SharedSnapshotCache
@@ -136,52 +138,62 @@ class ManagedSession:
         return DatabaseRef.inline()
 
 
-class _Metrics:
-    """Thread-safe service counters plus a bounded round-latency reservoir."""
+class _Metrics(RegistryStats):
+    """Thread-safe service counters plus a bounded round-latency histogram.
+
+    Registry-backed: counters and the round-latency Histogram (Prometheus
+    buckets + a bounded reservoir for the exact p50/p95 of the JSON payload)
+    live in a **private** :class:`MetricsRegistry` — each manager's metrics
+    are its own, as the historical per-instance counters were — which the
+    Prometheus endpoint renders alongside the process-wide registry.
+    """
+
+    _PREFIX = "qfe_service"
+    _FIELDS = (
+        "sessions_created",
+        "sessions_resumed",
+        "sessions_deleted",
+        "sessions_passivated",
+        "rounds_served",
+        "choices_submitted",
+        "checkpoints_written",
+    )
+    _HELP = {
+        "sessions_created": "Sessions created from scratch.",
+        "sessions_resumed": "Sessions restored from a checkpoint.",
+        "sessions_deleted": "Sessions deleted by request.",
+        "sessions_passivated": "Live sessions evicted to the store.",
+        "rounds_served": "Feedback rounds proposed to users.",
+        "choices_submitted": "User choices applied to pending rounds.",
+        "checkpoints_written": "Session checkpoints written to the store.",
+    }
 
     def __init__(self, window: int = 512) -> None:
-        self._lock = threading.Lock()
-        self.sessions_created = 0
-        self.sessions_resumed = 0
-        self.sessions_deleted = 0
-        self.sessions_passivated = 0
-        self.rounds_served = 0
-        self.choices_submitted = 0
-        self.checkpoints_written = 0
-        self._latencies: deque[float] = deque(maxlen=window)
+        super().__init__(MetricsRegistry())
+        self._latency = self.registry.histogram(
+            "qfe_service_round_latency_seconds",
+            "End-to-end round proposal latency.",
+            reservoir=window,
+        )
 
     def bump(self, counter: str, amount: int = 1) -> None:
-        with self._lock:
-            setattr(self, counter, getattr(self, counter) + amount)
+        self._counters[counter].inc(amount)
 
     def observe_round_latency(self, seconds: float) -> None:
-        with self._lock:
-            self._latencies.append(seconds)
+        self._latency.observe(seconds)
 
-    @staticmethod
-    def _percentile(samples: list[float], fraction: float) -> float | None:
-        if not samples:
-            return None
-        index = min(len(samples) - 1, max(0, round(fraction * (len(samples) - 1))))
-        return samples[index]
+    def reset(self) -> None:
+        super().reset()
+        self._latency.reset()
 
     def snapshot(self) -> dict:
-        with self._lock:
-            samples = sorted(self._latencies)
-            return {
-                "sessions_created": self.sessions_created,
-                "sessions_resumed": self.sessions_resumed,
-                "sessions_deleted": self.sessions_deleted,
-                "sessions_passivated": self.sessions_passivated,
-                "rounds_served": self.rounds_served,
-                "choices_submitted": self.choices_submitted,
-                "checkpoints_written": self.checkpoints_written,
-                "round_latency_seconds": {
-                    "count": len(samples),
-                    "p50": self._percentile(samples, 0.50),
-                    "p95": self._percentile(samples, 0.95),
-                },
-            }
+        payload: dict = {field: self._counters[field].value for field in self._FIELDS}
+        payload["round_latency_seconds"] = {
+            "count": self._latency.observation_count(),
+            "p50": self._latency.quantile(0.50),
+            "p95": self._latency.quantile(0.95),
+        }
+        return payload
 
 
 class SessionManager:
@@ -513,13 +525,13 @@ class SessionManager:
             managed.last_used = self._clock()
             had_pending = managed.session.pending_round is not None
             was_done = managed.session.done
-            started = time.monotonic()
+            watch = Stopwatch()
             with managed.pair.compute_lock:
                 pending = managed.session.propose()
             if pending is not None and not had_pending:
                 managed.rounds_served += 1
                 self._metrics.bump("rounds_served")
-                self._metrics.observe_round_latency(time.monotonic() - started)
+                self._metrics.observe_round_latency(watch.elapsed())
                 self._checkpoint(managed)
             elif pending is None and not was_done:
                 # The propose itself finished the session (converged on a
@@ -593,6 +605,32 @@ class SessionManager:
             }
         )
         return payload
+
+    def prometheus_metrics(self) -> str:
+        """The Prometheus text exposition for ``/metrics?format=prometheus``.
+
+        Renders this manager's private registry (service counters + the
+        round-latency histogram) first, then the process-wide registry (join
+        maintenance, columnar storage, SQL pushdown), plus a few gauges for
+        the live-state fields the JSON payload reports.
+        """
+        with self._lock:
+            active = len(self._sessions)
+            shared_pairs = len(self._pairs)
+        live = MetricsRegistry()
+        live.gauge(
+            "qfe_service_active_sessions", "Live (non-passivated) sessions."
+        ).set(active)
+        live.gauge("qfe_service_shared_pairs", "Shared generator/cache pairs.").set(
+            shared_pairs
+        )
+        live.gauge(
+            "qfe_service_stored_checkpoints", "Checkpoints held by the store."
+        ).set(len(self.store) if self.store is not None else 0)
+        live.gauge("qfe_service_workers", "Configured worker processes.").set(
+            self.workers
+        )
+        return render_prometheus(self._metrics.registry, live, REGISTRY)
 
     # ------------------------------------------------------------------- close
     def _check_open(self) -> None:

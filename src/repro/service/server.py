@@ -42,6 +42,7 @@ from repro.exceptions import (
     ServiceError,
     SessionNotFound,
 )
+from repro.obs.exposition import PROMETHEUS_CONTENT_TYPE
 from repro.service.checkpoint import feedback_round_dict, iteration_record_dict
 from repro.service.manager import ManagedSession, SessionManager
 
@@ -128,6 +129,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
@@ -168,7 +177,17 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.manager.healthz())
             return
         if method == "GET" and parts == ["metrics"]:
-            self._send_json(200, self.manager.metrics())
+            # Content negotiation: JSON stays the default contract; Prometheus
+            # exposition on explicit request via query or Accept header.
+            wants_prometheus = query.get("format", [""])[-1] == "prometheus" or (
+                "prometheus" in (self.headers.get("Accept") or "").lower()
+            )
+            if wants_prometheus:
+                self._send_text(
+                    200, self.manager.prometheus_metrics(), PROMETHEUS_CONTENT_TYPE
+                )
+            else:
+                self._send_json(200, self.manager.metrics())
             return
         if parts[:1] == ["sessions"]:
             if method == "POST" and len(parts) == 1:

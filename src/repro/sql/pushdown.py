@@ -56,6 +56,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
+from repro.obs.registry import RegistryStats
+from repro.obs.trace import get_tracer
 from repro.relational.columnar import BoolColumn, build_typed_column, mask_positions
 from repro.relational.database import Database
 from repro.relational.delta import TupleDelta
@@ -103,8 +105,7 @@ class PushdownExecutionError(Exception):
     """
 
 
-@dataclass
-class PushdownStats:
+class PushdownStats(RegistryStats):
     """Process-wide counters instrumenting the SQL-pushdown path.
 
     ``base_loads`` counts full base-database loads into a mirror connection —
@@ -114,18 +115,16 @@ class PushdownStats:
     counts rounds/attempts that fell back to the in-process path. The bench
     regression guard pins the first two, so a silent fallback to per-attempt
     reloading (or to Python evaluation) fails a fast test instead of only
-    showing up as a slow bench.
+    showing up as a slow bench. Registry-backed as ``qfe_pushdown_*``.
     """
 
-    base_loads: int = 0
-    attempt_batches: int = 0
-    python_fallbacks: int = 0
-
-    def reset(self) -> None:
-        """Zero all counters (tests/benchmarks call this before measuring)."""
-        self.base_loads = 0
-        self.attempt_batches = 0
-        self.python_fallbacks = 0
+    _PREFIX = "qfe_pushdown"
+    _FIELDS = ("base_loads", "attempt_batches", "python_fallbacks")
+    _HELP = {
+        "base_loads": "Full base-database loads into a mirror connection.",
+        "attempt_batches": "Attempt partitions computed by SQLite.",
+        "python_fallbacks": "Rounds/attempts evaluated on the Python path.",
+    }
 
     def snapshot(self) -> tuple[int, int, int]:
         """``(base_loads, attempt_batches, python_fallbacks)`` at this moment."""
@@ -202,13 +201,14 @@ def compile_term(term: Term, column_type: AttributeType) -> str:
             return f"({identifier} IS NOT NULL)"
         _check_literal(constant)
         return f"({identifier} <> {render_value(constant)})"
-    # Ordering against NaN never matches anything in Python (and never
-    # errors), so it folds to false; against NULL or an incomparable type the
+    # Ordering a *numeric* column against NaN never matches anything in
+    # Python (and never errors), so it folds to false; against NULL or an
+    # incomparable type — which includes NaN over a string column — the
     # evaluator raises EvaluationError for every reachable non-NULL value, so
     # compilation is refused and the backend routes the whole round through
     # the in-process path, which reproduces those errors (and their
     # reachability-aware masking) exactly.
-    if _is_nan(constant):
+    if _is_nan(constant) and column_type in _NUMERIC_TYPES:
         return "0"
     if constant is None or not _comparable(column_type, constant):
         raise PushdownUnsupportedError(
@@ -256,7 +256,8 @@ class SqliteMirror:
         self._connection = sqlite3.connect(":memory:")
         try:
             self._table_columns: dict[str, tuple[str, ...]] = {}
-            self._load(database)
+            with get_tracer().span("sql.mirror.load"):
+                self._load(database)
         except BaseException:
             self._connection.close()
             raise
@@ -318,7 +319,8 @@ class SqliteMirror:
         cursor = self._connection.cursor()
         cursor.execute('SAVEPOINT "qfe_attempt"')
         try:
-            self._apply_delta(cursor, delta)
+            with get_tracer().span("sql.mirror.dml"):
+                self._apply_delta(cursor, delta)
             yield cursor
         except (sqlite3.Error, OverflowError, PushdownUnsupportedError) as exc:
             raise PushdownExecutionError(f"SQLite rejected the attempt: {exc}") from exc
@@ -450,15 +452,16 @@ class RoundProgram:
     def fingerprints(self, cursor: sqlite3.Cursor) -> tuple[Any, ...]:
         """Execute every signature statement and fold per-query fingerprints."""
         fingerprints: list[Any] = [None] * self.query_count
-        for statement in self.statements:
-            try:
-                rows = cursor.execute(statement.sql).fetchall()
-            except sqlite3.Error as exc:
-                raise PushdownExecutionError(
-                    f"SQLite rejected the round statement: {exc}\n{statement.sql}"
-                ) from exc
-            for fold in statement.folds:
-                fingerprints[fold.query_index] = self._fold(rows, fold)
+        with get_tracer().span("sql.mirror.select", statements=len(self.statements)):
+            for statement in self.statements:
+                try:
+                    rows = cursor.execute(statement.sql).fetchall()
+                except sqlite3.Error as exc:
+                    raise PushdownExecutionError(
+                        f"SQLite rejected the round statement: {exc}\n{statement.sql}"
+                    ) from exc
+                for fold in statement.folds:
+                    fingerprints[fold.query_index] = self._fold(rows, fold)
         return tuple(fingerprints)
 
     def _fold(self, rows: list, fold: _QueryFold) -> Any:

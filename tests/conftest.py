@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.datasets import adult, baseball, employee, scientific
+from repro.obs.registry import reset_all_stats as _reset_registry
 from repro.relational.database import Database
 from repro.relational.evaluator import evaluate
 from repro.relational.predicates import ComparisonOp, DNFPredicate, Term
@@ -19,6 +20,20 @@ from repro.relational.schema import ForeignKey
 
 #: Tiny scale used by most dataset-backed tests (keeps the suite fast).
 TINY_SCALE = 0.03
+
+
+@pytest.fixture(autouse=True)
+def reset_all_stats():
+    """Zero the metrics registry before every test.
+
+    The legacy stats objects (``JOIN_STATS``, ``COLUMNAR_STATS``,
+    ``PUSHDOWN_STATS``) are process-wide registry counters; without this,
+    their values leak across tests and every guard has to diff before/after
+    by hand. Resetting *before* the test (not after) also means a test can
+    still inspect counters post-mortem in ``--pdb`` sessions.
+    """
+    _reset_registry()
+    yield
 
 
 @pytest.fixture(scope="session")

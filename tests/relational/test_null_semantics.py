@@ -230,6 +230,18 @@ class TestPinnedNullCases:
             database, Term("T.f", ComparisonOp.IN, (NAN, 0.0))
         ) == zero_f
 
+    def test_ordering_against_nan_on_a_string_column_refuses_to_compile(self):
+        # ``"x" < nan`` is a cross-type ordering *error* in the evaluator,
+        # not a benign False — the numeric-column NaN fold must not apply.
+        from repro.relational.types import AttributeType
+
+        with pytest.raises(PushdownUnsupportedError):
+            compile_term_sql(Term("T.s", ComparisonOp.LT, NAN), AttributeType.STRING)
+        # Over numeric columns the fold stays: every ordering folds to 0.
+        assert compile_term_sql(
+            Term("T.f", ComparisonOp.LT, NAN), AttributeType.FLOAT
+        ) == "0"
+
     def test_huge_int_neighbours_stay_exact_through_sql(self):
         # 2^53 and 2^53 + 1 collapse after a float() round-trip; the SQL
         # path must keep them apart exactly as the evaluator does.
