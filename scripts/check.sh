@@ -36,6 +36,10 @@ echo "== differential: scenario engine — generated scenario, serial vs 2-worke
 python -m pytest -q tests/integration/test_scenario_differential.py -k "fast_guard or checkpoint_resumes"
 
 echo
+echo "== differential: warm persistent worker pool is bit-identical to the serial oracle (fast guard + fault recovery) =="
+python -m pytest -q tests/integration/test_warm_pool_differential.py
+
+echo
 echo "== service smoke: HTTP session, checkpoint -> kill -9 -> resume -> finish, bit-identical transcript =="
 python scripts/service_smoke.py
 

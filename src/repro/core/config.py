@@ -24,7 +24,7 @@ __all__ = [
 
 #: Execution-backend names accepted everywhere a worker count is accepted
 #: (``QFEConfig.backend``, every ``--backend`` flag, the service config).
-BACKEND_CHOICES = ("auto", "serial", "process", "sql")
+BACKEND_CHOICES = ("auto", "serial", "process", "sql", "warm")
 
 
 class _BackendNameError(ValueError, argparse.ArgumentTypeError):
@@ -132,7 +132,11 @@ class QFEConfig:
         derives it from ``workers`` as above, ``"serial"`` forces the
         in-process oracle, ``"process"`` forces the worker pool, and
         ``"sql"`` compiles each round into SQLite passes over a persistent
-        in-memory mirror. Every backend produces bit-identical transcripts.
+        in-memory mirror, and ``"warm"`` runs rounds on a persistent warm
+        worker pool (workers keep versioned base state across rounds and
+        sessions; the driver ships deltas and content-hashed round bodies,
+        never re-pickled snapshots). Every backend produces bit-identical
+        transcripts.
     """
 
     beta: float = 1.0

@@ -40,11 +40,11 @@ import weakref
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.core.config import BACKEND_CHOICES, QFEConfig, backend_name
-from repro.obs.registry import REGISTRY
+from repro.obs.registry import REGISTRY, RegistryStats
 from repro.obs.trace import get_tracer
 from repro.core.materialize import materialize_pairs
 from repro.core.modification import ClassPair
@@ -64,7 +64,9 @@ from repro.sql.pushdown import (
 )
 
 __all__ = [
+    "BACKEND_STATS",
     "RoundContext",
+    "RoundRequest",
     "WorkUnit",
     "AttemptOutcome",
     "RoundRuntime",
@@ -80,11 +82,66 @@ __all__ = [
     "attempt_seed",
     "required_signatures",
     "build_round_runtime",
+    "context_body_payload",
     "evaluate_attempt",
     "evaluate_work_unit",
 ]
 
 Attempt = tuple[ClassPair, ...]
+
+
+class BackendStats(RegistryStats):
+    """Process-wide counters for backend state shipping and warm workers.
+
+    Registry-backed (``qfe_backend_*``): increments made inside worker
+    processes (installs, advances, warm plan hits, attempt timings) ride
+    back to the driver with each reply's counter deltas and merge
+    commutatively, so the totals are scheduling-independent. The context
+    shipping counters (``context_*``) are shared between the classic
+    :class:`ProcessPoolBackend` and the warm runtime's
+    :class:`~repro.core.worker_runtime.WarmProcessPoolBackend` — both
+    content-hash the round body and skip re-shipping bytes a resident
+    worker already holds.
+    """
+
+    _PREFIX = "qfe_backend"
+    _FIELDS = (
+        "bytes_shipped",
+        "shm_bytes_mapped",
+        "snapshot_installs",
+        "snapshot_advances",
+        "warm_hits",
+        "warm_misses",
+        "context_pickles",
+        "context_skips",
+        "context_resends",
+        "worker_resyncs",
+        "pool_rebuilds",
+        "rounds_planned",
+        "units_dispatched",
+        "attempts_evaluated",
+        "attempt_micros",
+    )
+    _HELP = {
+        "bytes_shipped": "Driver-side state bytes put on the wire (installs, deltas, round bodies).",
+        "shm_bytes_mapped": "Bytes attached from shared-memory snapshot blocks (worker-side).",
+        "snapshot_installs": "Full base installs performed by workers (fork-seeded installs included).",
+        "snapshot_advances": "Delta advances applied by workers.",
+        "warm_hits": "Worker plan-cache hits (prologue skipped entirely).",
+        "warm_misses": "Worker plan-cache misses (prologue computed).",
+        "context_pickles": "Round context bodies pickled by the driver.",
+        "context_skips": "Rounds whose context body was already resident worker-side (no re-ship).",
+        "context_resends": "Context bodies re-shipped after a worker body-cache miss.",
+        "worker_resyncs": "need-sync replies answered with an authoritative install.",
+        "pool_rebuilds": "Worker pools rebuilt after a crash (BrokenProcessPool).",
+        "rounds_planned": "Rounds planned remotely by warm workers.",
+        "units_dispatched": "Work units dispatched to warm workers.",
+        "attempts_evaluated": "Attempts evaluated by warm workers.",
+        "attempt_micros": "Microseconds warm workers spent evaluating attempts.",
+    }
+
+
+BACKEND_STATS = BackendStats()
 
 
 # --------------------------------------------------------------------- payloads
@@ -95,6 +152,8 @@ class RoundContext:
     ``token`` identifies the round (workers key their rehydrated runtime on
     it); everything else is what a worker needs — besides the broadcast base
     snapshot — to rebuild the tuple-class space and score attempts.
+    ``result_arity`` additionally lets a warm worker run the whole prologue
+    (skyline + subset selection) remotely; classic backends ignore it.
     """
 
     token: str
@@ -102,6 +161,7 @@ class RoundContext:
     config: QFEConfig
     referenced: tuple[str, ...]
     result_name: str
+    result_arity: int = 0
 
 
 @dataclass(frozen=True)
@@ -178,6 +238,25 @@ class RoundSetup:
     winner_store: dict | None = None
 
 
+@dataclass
+class RoundRequest:
+    """One whole round handed to a round-planning backend (``plans_rounds``).
+
+    Unlike :class:`RoundSetup`, there is no pre-built tuple-class space and
+    no attempt list: a round-planning backend runs the prologue (skyline +
+    subset selection) itself, worker-side, from the context's queries and
+    ``result_arity``. ``database`` and ``join_cache`` are the driver-local
+    live base (for finalize-side bookkeeping); ``snapshot_provider`` is the
+    same memoized capture the classic backends use — its identity doubles as
+    the base-change signal.
+    """
+
+    context: RoundContext
+    database: Database
+    join_cache: JoinCache
+    snapshot_provider: Callable[[], BaseSnapshot]
+
+
 # --------------------------------------------------------------------- sharding
 def shard_attempts(attempts: Sequence[Attempt], unit_count: int) -> list[WorkUnit]:
     """Split *attempts* into at most *unit_count* contiguous, balanced work units.
@@ -216,6 +295,23 @@ def attempt_seed(token: str, attempt_index: int) -> int:
     """
     digest = hashlib.sha256(f"{token}:{attempt_index}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def context_body_payload(context: RoundContext) -> tuple[str, bytes]:
+    """Pickle the round's *body* — the context with its token stripped.
+
+    The token is the only per-round field; everything else (queries, config,
+    referenced tables, result schema) is identical across the rounds of a
+    session and across repeated sessions on the same workload pair. Hashing
+    the token-free pickle gives a content key the pool backends use to skip
+    re-shipping bodies their resident workers already hold: a task then
+    carries ``(token, body_hash, None)`` and the worker rebuilds the full
+    context as ``replace(body, token=token)``.
+    """
+    body = replace(context, token="")
+    payload = pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
+    BACKEND_STATS.context_pickles += 1
+    return hashlib.sha256(payload).hexdigest(), payload
 
 
 def required_signatures(context: RoundContext) -> tuple[tuple[str, ...], ...]:
@@ -422,10 +518,14 @@ class SerialBackend(ExecutionBackend):
 # Worker-process globals, populated once per pool by the initializer. One
 # (context, runtime) pair is kept per round token; a new token evicts the
 # previous round's space so long sessions never accumulate per-round state
-# in workers.
+# in workers. Round *bodies* (token-stripped contexts, keyed by content
+# hash) are kept across rounds so a session's later rounds — whose bodies
+# are byte-identical — never re-ship or re-unpickle the context.
 _WORKER_DATABASE: Database | None = None
 _WORKER_CACHE: JoinCache | None = None
 _WORKER_ROUNDS: dict[str, tuple[RoundContext, RoundRuntime]] = {}
+_WORKER_BODIES: dict[str, RoundContext] = {}
+_WORKER_BODY_LIMIT = 8
 
 
 def _process_worker_initialize(payload: bytes) -> None:
@@ -434,17 +534,34 @@ def _process_worker_initialize(payload: bytes) -> None:
     snapshot = BaseSnapshot.from_bytes(payload)
     _WORKER_DATABASE, _WORKER_CACHE = snapshot.restore()
     _WORKER_ROUNDS.clear()
+    _WORKER_BODIES.clear()
+
+
+def _worker_resolve_body(body_hash: str, body_payload: bytes | None) -> RoundContext | None:
+    """Look up (or install) the round body; ``None`` asks for a resend."""
+    body = _WORKER_BODIES.get(body_hash)
+    if body is None:
+        if body_payload is None:
+            return None
+        body = pickle.loads(body_payload)
+        _WORKER_BODIES[body_hash] = body
+        while len(_WORKER_BODIES) > _WORKER_BODY_LIMIT:
+            del _WORKER_BODIES[next(iter(_WORKER_BODIES))]
+    return body
 
 
 def _process_worker_run(
-    token: str, context_payload: bytes, unit: WorkUnit
-) -> tuple[tuple[AttemptOutcome, ...], dict]:
+    token: str, body_hash: str, body_payload: bytes | None, unit: WorkUnit
+) -> tuple[tuple[AttemptOutcome, ...] | None, dict]:
     """Score one work unit against the rehydrated snapshot (worker-side).
 
-    ``context_payload`` is the round context pre-pickled once by the driver;
-    a worker unpickles it only for the first unit of a round it sees and
-    reuses the cached context (and its built runtime) for every later unit
-    of the same token.
+    ``body_payload`` is the round's token-stripped context, pre-pickled once
+    by the driver — and shipped at most once per pool: when the driver has
+    already shipped a byte-identical body (same queries/config, any round)
+    it sends ``None``, and a worker that happens not to hold the body for
+    ``body_hash`` replies ``(None, deltas)`` so the driver resubmits the
+    unit with the bytes attached. Workers cache the built runtime by token
+    and bodies by content hash across rounds.
 
     Returns ``(outcomes, counter_deltas)``: the worker snapshots the metrics
     registry around the evaluation and ships the counter increments back with
@@ -457,7 +574,10 @@ def _process_worker_run(
     counters_before = REGISTRY.counter_values()
     cached = _WORKER_ROUNDS.get(token)
     if cached is None:
-        context: RoundContext = pickle.loads(context_payload)
+        body = _worker_resolve_body(body_hash, body_payload)
+        if body is None:
+            return None, REGISTRY.counter_deltas(counters_before)
+        context = replace(body, token=token)
         _WORKER_ROUNDS.clear()
         runtime = build_round_runtime(_WORKER_DATABASE, _WORKER_CACHE, context)
         _WORKER_ROUNDS[token] = (context, runtime)
@@ -504,6 +624,9 @@ class ProcessPoolBackend(ExecutionBackend):
         self._mp_context = mp_context
         self._executor: ProcessPoolExecutor | None = None
         self._snapshot: BaseSnapshot | None = None
+        # Content hashes of round bodies already shipped to the current pool
+        # (worker body caches die with the pool, so close() clears this).
+        self._shipped_bodies: set[str] = set()
         #: Size of the last pickled snapshot broadcast to the pool, or None
         #: before the first seed. Diagnostics: with typed column storage the
         #: dominant payload is the base relations' tuples, and the figure is
@@ -574,12 +697,19 @@ class ProcessPoolBackend(ExecutionBackend):
             units = shard_attempts(attempts, self.workers * self.units_per_worker)
             wave_size = len(units)
         token = setup.context.token
-        # The context is pickled once here but shipped with every task: the
-        # executor gives no control over which worker a task lands on, so
-        # each task must be self-contained (a worker that has not seen the
-        # round yet needs the context). Workers cache by token, so the cost
-        # is a few KB per submit of already-pickled bytes, not re-pickling.
-        context_payload = pickle.dumps(setup.context, protocol=pickle.HIGHEST_PROTOCOL)
+        # The context *body* (token stripped) is pickled once per distinct
+        # content and shipped at most once per pool: rounds of one session
+        # share a byte-identical body, so every round after the first ships
+        # only ``(token, hash, None)`` with each task. A worker that does
+        # not hold the body (it never saw round one's tasks) replies with
+        # ``None`` outcomes and the unit is resubmitted with the bytes.
+        body_hash, body_payload = context_body_payload(setup.context)
+        if body_hash in self._shipped_bodies:
+            BACKEND_STATS.context_skips += 1
+            shipped_payload: bytes | None = None
+        else:
+            self._shipped_bodies.add(body_hash)
+            shipped_payload = body_payload
         outcomes_by_unit: dict[int, tuple[AttemptOutcome, ...]] = {}
         counter_deltas: list[dict] = []
         position = 0
@@ -591,14 +721,23 @@ class ProcessPoolBackend(ExecutionBackend):
                 ):
                     futures = [
                         executor.submit(
-                            _process_worker_run, token, context_payload, unit
+                            _process_worker_run, token, body_hash, shipped_payload, unit
                         )
                         for unit in wave
                     ]
                     for unit, future in zip(wave, futures):
-                        outcomes_by_unit[unit.index], deltas = future.result()
+                        outcomes, deltas = future.result()
                         if deltas:
                             counter_deltas.append(deltas)
+                        while outcomes is None:
+                            BACKEND_STATS.context_resends += 1
+                            retry = executor.submit(
+                                _process_worker_run, token, body_hash, body_payload, unit
+                            )
+                            outcomes, deltas = retry.result()
+                            if deltas:
+                                counter_deltas.append(deltas)
+                        outcomes_by_unit[unit.index] = outcomes
                 position += len(wave)
                 if stop_at_first and any(
                     outcome.applied and outcome.distinguishes
@@ -630,6 +769,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 self._executor.shutdown(wait=True)
                 self._executor = None
             self._snapshot = None
+            self._shipped_bodies.clear()
 
 
 class SqlPushdownBackend(ExecutionBackend):
@@ -817,8 +957,9 @@ def create_backend(workers: int | None, backend: str = "auto") -> ExecutionBacke
 
     ``auto`` keeps the historical worker-count rule — serial for ``0``/``1``
     workers, a process pool otherwise. An explicit name always wins:
-    ``serial`` and ``sql`` ignore the worker count entirely, and ``process``
-    raises the count to the pool's minimum of two when needed.
+    ``serial`` and ``sql`` ignore the worker count entirely, while
+    ``process`` and ``warm`` raise the count to the pools' minimum of two
+    when needed.
     """
     name = backend_name(backend)
     if name == "serial":
@@ -827,6 +968,11 @@ def create_backend(workers: int | None, backend: str = "auto") -> ExecutionBacke
         return SqlPushdownBackend()
     if name == "process":
         return ProcessPoolBackend(max(2, workers or 0))
+    if name == "warm":
+        # Imported lazily: worker_runtime imports this module at load time.
+        from repro.core.worker_runtime import WarmProcessPoolBackend
+
+        return WarmProcessPoolBackend(max(2, workers or 0))
     if workers is None or workers <= 1:
         return SerialBackend()
     return ProcessPoolBackend(workers)

@@ -40,6 +40,7 @@ from repro.core.execution_backend import (
     AttemptOutcome,
     ExecutionBackend,
     RoundContext,
+    RoundRequest,
     RoundSetup,
     SerialBackend,
     required_signatures,
@@ -62,6 +63,8 @@ __all__ = [
     "DatabaseGenerationResult",
     "RoundPlan",
     "RoundPlanner",
+    "PrologueResult",
+    "compute_prologue",
     "candidate_pair_attempts",
 ]
 
@@ -137,6 +140,152 @@ def candidate_pair_attempts(
     return tuple(attempts)
 
 
+@dataclass
+class PrologueResult:
+    """Output of the round prologue (Algorithms 3 + 4 over the shared join).
+
+    Produced by :func:`compute_prologue` — on the driver by
+    :meth:`RoundPlanner.prepare_round`, or inside a warm worker process when
+    a round-planning backend runs the prologue remotely. Both sides run the
+    identical deterministic code over identical state (the worker's joins are
+    snapshot replicas of the driver's), so the attempt sequence — and hence
+    the session transcript — is independent of where the prologue ran.
+    """
+
+    space: TupleClassSpace
+    simulator: PairSetSimulator
+    skyline: SkylineResult
+    selection: SubsetSelectionResult
+    attempts: tuple[Attempt, ...]
+    skyline_seconds: float
+    selection_seconds: float
+
+
+def compute_prologue(
+    database: Database,
+    join_cache: JoinCache,
+    context: RoundContext,
+    *,
+    score: ScoreFunction | None = None,
+) -> PrologueResult:
+    """Run one round's prologue: join → tuple-class space → skyline → subset.
+
+    Pure function of ``(database, cached joins, context)`` plus the optional
+    score override: materializes/reuses the referenced join, builds the
+    tuple-class space, runs Algorithm 3 and Algorithm 4, and lays out the
+    deterministic attempt sequence (chosen subset first, then the skyline
+    singles by balance). Raises :class:`DatabaseGenerationError` with the
+    exact historical messages on every dead end, so callers on either side of
+    a process boundary surface identical failures.
+    """
+    config = context.config
+    queries = context.queries
+    referenced = context.referenced
+    try:
+        joined = join_cache.join_for(database, referenced)
+        # Pre-warm the per-query signatures too: partitioning (driver- or
+        # worker-side) groups candidates by their own join signature, and
+        # a warm base entry is what keeps every candidate evaluation on
+        # the O(|Δ|) delta-derived path.
+        for query in queries:
+            join_cache.join_for(database, query.join_signature)
+    except DatabaseGenerationError:
+        raise
+    except Exception as exc:
+        raise DatabaseGenerationError(
+            f"cannot materialize the join of {list(referenced)}: {exc}"
+        ) from exc
+    space = TupleClassSpace(joined, queries)
+    if space.attribute_count == 0:
+        raise DatabaseGenerationError(
+            "candidate queries have no selection predicates to distinguish"
+        )
+    result_arity = context.result_arity
+    simulator = PairSetSimulator(space, result_arity=result_arity)
+
+    watch = Stopwatch()
+    skyline = skyline_stc_dtc_pairs(
+        space, config, result_arity=result_arity, simulator=simulator
+    )
+    skyline_seconds = watch.restart()
+    if not skyline.pairs:
+        raise DatabaseGenerationError("Algorithm 3 found no distinguishing tuple-class pairs")
+
+    selection = pick_stc_dtc_subset(
+        space,
+        skyline.pairs,
+        config,
+        result_arity=result_arity,
+        most_balanced_binary_x=skyline.most_balanced_binary_x,
+        score=score,
+        simulator=simulator,
+    )
+    selection_seconds = watch.restart()
+    if not selection.found:
+        raise DatabaseGenerationError("Algorithm 4 found no distinguishing pair subset")
+
+    # Attempt sequence: the chosen subset first; if the concrete database
+    # fails to split the candidates (side effects, value collisions), fall
+    # back to the skyline pairs singly, ordered by single-pair balance.
+    attempts: list[Attempt] = [tuple(selection.chosen_pairs)]
+    attempts.extend(
+        (pair,)
+        for pair in skyline.singles_ordered_by_balance()
+        if (pair,) != selection.chosen_pairs
+    )
+    return PrologueResult(
+        space=space,
+        simulator=simulator,
+        skyline=skyline,
+        selection=selection,
+        attempts=tuple(attempts),
+        skyline_seconds=skyline_seconds,
+        selection_seconds=selection_seconds,
+    )
+
+
+@dataclass(frozen=True)
+class _RemoteSkylineSummary:
+    """Stand-in for :class:`SkylineResult` when the prologue ran remotely.
+
+    A round-planning backend ships back only the scalar the session's round
+    stats read (``pair_count``); the full pair list stays worker-side. The
+    count is computed by the identical Algorithm 3 code on replicated state,
+    so transcripts stay bit-identical to the driver-side prologue.
+    """
+
+    pair_count: int
+
+
+@dataclass(frozen=True)
+class _RemoteSelectionSummary:
+    """Stand-in for :class:`SubsetSelectionResult` after a remote prologue."""
+
+    found: bool
+    chosen_pairs: tuple[ClassPair, ...]
+    chosen_cost: CostBreakdown | None
+
+
+@dataclass(frozen=True)
+class _RemoteMaterializationSummary:
+    """Stand-in for :class:`MaterializationResult` after a remote search.
+
+    ``database`` is the driver-side replay of the winner's shipped
+    :class:`~repro.relational.delta.TupleDelta` onto a copy of the base —
+    byte-identical to the worker's materialized database because delta
+    replay is exact (tuple ids included). The scalar counts are the worker's
+    measurements of the same deterministic materialization.
+    """
+
+    database: Database
+    delta: object
+    modification_count: int
+    modified_tuple_count: int
+    modified_relation_count: int
+    side_effect_count: int
+    skipped_pair_count: int
+
+
 class RoundPlanner:
     """Plan one feedback round over a pluggable execution backend.
 
@@ -209,90 +358,41 @@ class RoundPlanner:
         with get_tracer().span("round.prepare", candidates=len(queries)):
             return self._prepare_round(original, result, queries)
 
+    def _context_for(
+        self, result: Relation, queries: tuple[SPJQuery, ...]
+    ) -> RoundContext:
+        # Join only the relations the candidates actually reference (Section 5
+        # assumes a shared join schema; this also keeps databases with
+        # unrelated extra tables usable).
+        referenced = tuple(sorted({table for query in queries for table in query.tables}))
+        return RoundContext(
+            token=f"round-{next(_ROUND_TOKENS)}",
+            queries=queries,
+            config=self.config,
+            referenced=referenced,
+            result_name=result.schema.name,
+            result_arity=result.schema.arity,
+        )
+
     def _prepare_round(
         self,
         original: Database,
         result: Relation,
         queries: Sequence[SPJQuery],
     ) -> RoundPlan:
-        config = self.config
-        queries = tuple(queries)
-
-        # Join only the relations the candidates actually reference (Section 5
-        # assumes a shared join schema; this also keeps databases with
-        # unrelated extra tables usable).
-        referenced = tuple(sorted({table for query in queries for table in query.tables}))
-        try:
-            joined = self.join_cache.join_for(original, referenced)
-            # Pre-warm the per-query signatures too: partitioning (driver- or
-            # worker-side) groups candidates by their own join signature, and
-            # a warm base entry is what keeps every candidate evaluation on
-            # the O(|Δ|) delta-derived path.
-            for query in queries:
-                self.join_cache.join_for(original, query.join_signature)
-        except DatabaseGenerationError:
-            raise
-        except Exception as exc:
-            raise DatabaseGenerationError(
-                f"cannot materialize the join of {list(referenced)}: {exc}"
-            ) from exc
-        space = TupleClassSpace(joined, queries)
-        if space.attribute_count == 0:
-            raise DatabaseGenerationError(
-                "candidate queries have no selection predicates to distinguish"
-            )
-        result_arity = result.schema.arity
-        simulator = PairSetSimulator(space, result_arity=result_arity)
-
-        watch = Stopwatch()
-        skyline = skyline_stc_dtc_pairs(
-            space, config, result_arity=result_arity, simulator=simulator
-        )
-        skyline_seconds = watch.restart()
-        if not skyline.pairs:
-            raise DatabaseGenerationError("Algorithm 3 found no distinguishing tuple-class pairs")
-
-        selection = pick_stc_dtc_subset(
-            space,
-            skyline.pairs,
-            config,
-            result_arity=result_arity,
-            most_balanced_binary_x=skyline.most_balanced_binary_x,
-            score=self.score,
-            simulator=simulator,
-        )
-        selection_seconds = watch.restart()
-        if not selection.found:
-            raise DatabaseGenerationError("Algorithm 4 found no distinguishing pair subset")
-
-        # Attempt sequence: the chosen subset first; if the concrete database
-        # fails to split the candidates (side effects, value collisions), fall
-        # back to the skyline pairs singly, ordered by single-pair balance.
-        attempts: list[Attempt] = [tuple(selection.chosen_pairs)]
-        attempts.extend(
-            (pair,)
-            for pair in skyline.singles_ordered_by_balance()
-            if (pair,) != selection.chosen_pairs
-        )
-
-        context = RoundContext(
-            token=f"round-{next(_ROUND_TOKENS)}",
-            queries=queries,
-            config=config,
-            referenced=referenced,
-            result_name=result.schema.name,
-        )
+        context = self._context_for(result, tuple(queries))
+        prologue = compute_prologue(original, self.join_cache, context, score=self.score)
         return RoundPlan(
             context=context,
             original=original,
             result=result,
-            space=space,
-            simulator=simulator,
-            skyline=skyline,
-            selection=selection,
-            attempts=tuple(attempts),
-            skyline_seconds=skyline_seconds,
-            selection_seconds=selection_seconds,
+            space=prologue.space,
+            simulator=prologue.simulator,
+            skyline=prologue.skyline,
+            selection=prologue.selection,
+            attempts=prologue.attempts,
+            skyline_seconds=prologue.skyline_seconds,
+            selection_seconds=prologue.selection_seconds,
         )
 
     # ------------------------------------------------------------------ search
@@ -366,6 +466,14 @@ class RoundPlanner:
         queries: Sequence[SPJQuery],
     ) -> DatabaseGenerationResult:
         """Produce ``D'`` distinguishing *queries*; raises if no modification helps."""
+        # A round-planning backend (``plans_rounds``) runs the whole round —
+        # prologue included — on its warm workers; only compact summaries,
+        # outcomes and the winner's delta + batch cross the process boundary.
+        # A custom score function cannot be shipped (it may close over
+        # arbitrary driver state), so those planners keep the driver-side
+        # prologue and the backend's classic ``run_attempts`` interface.
+        if getattr(self.backend, "plans_rounds", False) and self.score is None:
+            return self._plan_round_remote(original, result, tuple(queries))
         plan = self.prepare_round(original, result, queries)
         watch = Stopwatch()
         winner_store: dict = {}
@@ -433,6 +541,93 @@ class RoundPlanner:
                 if chosen_pairs == plan.selection.chosen_pairs
                 else None
             ),
+            skyline_seconds=plan.skyline_seconds,
+            selection_seconds=plan.selection_seconds,
+            materialize_seconds=materialize_seconds,
+            fallback_attempts=winner.attempt_index,
+        )
+
+    def _plan_round_remote(
+        self,
+        original: Database,
+        result: Relation,
+        queries: tuple[SPJQuery, ...],
+    ) -> DatabaseGenerationResult:
+        """One whole round on a round-planning backend (warm worker pool).
+
+        The prologue (Algorithm 3 + 4), the candidate-modification search and
+        the winner's evaluation all run worker-side against the replicated
+        base; the driver ships a content-hashed round body, receives compact
+        outcomes plus the winner's delta + batch, and finalizes by replaying
+        the delta onto a copy of the base — the same deterministic database
+        the worker scored, without re-materializing or re-evaluating
+        anything driver-side.
+        """
+        if len(queries) < 2:
+            raise DatabaseGenerationError("need at least two candidate queries to distinguish")
+        context = self._context_for(result, queries)
+        request = RoundRequest(
+            context=context,
+            database=original,
+            join_cache=self.join_cache,
+            snapshot_provider=lambda: self._snapshot_for(
+                original, required_signatures(context)
+            ),
+        )
+        with get_tracer().span("round.search", backend=self.backend.name):
+            remote = self.backend.run_round(request)
+        watch = Stopwatch()
+        winner: AttemptOutcome | None = None
+        for outcome in remote.outcomes:
+            if outcome.applied and outcome.distinguishes:
+                winner = outcome
+                break
+        if winner is None:
+            last_error = "no class pair could be materialized"
+            if remote.outcomes and remote.outcomes[-1].applied:
+                last_error = "materialized database did not distinguish any candidates"
+            raise DatabaseGenerationError(
+                f"could not generate a distinguishing database: {last_error} "
+                f"after {len(remote.outcomes)} attempts"
+            )
+        payload = remote.winner
+        with get_tracer().span("round.materialize", attempt=winner.attempt_index):
+            if payload is None or payload.attempt_index != winner.attempt_index:
+                # pragma: no cover - backend contract violation
+                raise DatabaseGenerationError(
+                    "round-planning backend returned no finalize payload "
+                    "for the winning attempt"
+                )
+            derived = original.copy()
+            payload.delta.apply_to(derived)
+            partition = partition_from_batch(context.queries, payload.batch)
+            if not partition.distinguishes:  # pragma: no cover - determinism guard
+                raise DatabaseGenerationError(
+                    "winning attempt no longer distinguishes on re-materialization; "
+                    "attempt evaluation is expected to be deterministic"
+                )
+        materialize_seconds = watch.elapsed()
+        chosen_pairs = tuple(winner.pairs)
+        plan = remote.plan
+        plan_chosen = tuple(plan.chosen_pairs)
+        return DatabaseGenerationResult(
+            database=derived,
+            partition=partition,
+            materialization=_RemoteMaterializationSummary(
+                database=derived,
+                delta=payload.delta,
+                modification_count=payload.modification_count,
+                modified_tuple_count=payload.modified_tuple_count,
+                modified_relation_count=payload.modified_relation_count,
+                side_effect_count=payload.side_effect_count,
+                skipped_pair_count=payload.skipped_pair_count,
+            ),
+            skyline=_RemoteSkylineSummary(pair_count=plan.skyline_pair_count),
+            selection=_RemoteSelectionSummary(
+                found=True, chosen_pairs=plan_chosen, chosen_cost=plan.chosen_cost
+            ),
+            chosen_pairs=chosen_pairs,
+            chosen_cost=plan.chosen_cost if chosen_pairs == plan_chosen else None,
             skyline_seconds=plan.skyline_seconds,
             selection_seconds=plan.selection_seconds,
             materialize_seconds=materialize_seconds,

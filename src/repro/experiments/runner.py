@@ -195,6 +195,8 @@ def run_session(
     scale: float = 1.0,
     workers: int | None = None,
     backend=None,
+    join_cache=None,
+    snapshot_cache=None,
     capture_transcript: bool = False,
 ) -> ExperimentRun:
     """Run one QFE session over an explicit ``(D, R, target)`` triple.
@@ -205,9 +207,13 @@ def run_session(
     An explicit ``backend`` (an :class:`~repro.core.execution_backend.\
 ExecutionBackend`) overrides both and is *not* owned by the session — the
     scenario sweep reuses one process pool across many sessions this way.
-    ``capture_transcript`` records the canonical (timing-free) transcript on
-    the returned run, the byte-comparable form the differential harnesses
-    use.
+    ``join_cache``/``snapshot_cache`` are likewise shared-not-owned when
+    given: passing the same pair across several ``run_session`` calls over
+    the same base database makes later sessions start warm (no cold join,
+    no snapshot rebuild), which is how the sweep's pooled leg measures the
+    steady-state of the warm backend. ``capture_transcript`` records the
+    canonical (timing-free) transcript on the returned run, the
+    byte-comparable form the differential harnesses use.
     """
     config = config or QFEConfig()
     if workers is None:
@@ -235,6 +241,8 @@ ExecutionBackend`) overrides both and is *not* owned by the session — the
         score=score,
         workers=workers,
         backend=backend,
+        join_cache=join_cache,
+        snapshot_cache=snapshot_cache,
     )
     outcome = session.run(chosen_selector)
     canonical_transcript: dict | None = None

@@ -33,6 +33,7 @@ scheduling — determinism of the search itself is untouched.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import deque
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -44,6 +45,7 @@ __all__ = [
     "RegistryStats",
     "REGISTRY",
     "reset_all_stats",
+    "register_worker_stats_participant",
     "DEFAULT_LATENCY_BUCKETS",
 ]
 
@@ -356,14 +358,43 @@ class MetricsRegistry:
 REGISTRY = MetricsRegistry()
 
 
+#: Live objects holding counter state *outside* this process's registry —
+#: warm worker pools whose persistent child processes accumulate their own
+#: ``REGISTRY`` counters between unit merges. Weakly referenced: a pool that
+#: was closed and collected simply disappears from the reset fan-out.
+_WORKER_STATS_PARTICIPANTS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def register_worker_stats_participant(participant: Any) -> None:
+    """Register an object whose ``reset_worker_stats()`` joins the global reset.
+
+    Persistent worker pools keep counter state in long-lived child processes;
+    without this hook, :func:`reset_all_stats` would zero the driver registry
+    while workers keep their cumulative values — and any code path that ships
+    worker counter *values* (rather than per-unit deltas) after the reset
+    would re-merge pre-reset amounts. Registration is idempotent and weak.
+    """
+    _WORKER_STATS_PARTICIPANTS.add(participant)
+
+
 def reset_all_stats() -> None:
-    """Zero every instrument of the process-wide registry.
+    """Zero every instrument of the process-wide registry — and warm workers.
 
     The shared pytest fixture calls this before each test so counter state
     can never leak across tests; it is also safe to call from benchmarks
-    before a measured section.
+    before a measured section. Registered warm worker pools (see
+    :func:`register_worker_stats_participant`) have their worker-side
+    registries reset too, so bench groups sharing a persistent pool cannot
+    inherit stale ``qfe_columnar_*`` (or any other) counter state from a
+    previous measured section. A pool whose reset fails (e.g. its executor
+    already broke) is skipped: the reset must never raise.
     """
     REGISTRY.reset()
+    for participant in list(_WORKER_STATS_PARTICIPANTS):
+        try:
+            participant.reset_worker_stats()
+        except Exception:  # pragma: no cover - defensive: reset must not raise
+            continue
 
 
 class RegistryStats:

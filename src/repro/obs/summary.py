@@ -7,9 +7,11 @@ folded into the five lifecycle phases the backends share:
 ======================  ====================================================
 phase                   source spans
 ======================  ====================================================
-``prepare``             ``round.prepare`` (candidate enumeration, planning)
-``ship``                ``backend.broadcast`` (context pickling/base loads)
-``evaluate``            ``round.search`` minus its ship/merge children
+``prepare``             ``round.prepare`` (candidate enumeration, planning),
+                        ``backend.plan`` (warm-pool remote prologue)
+``ship``                ``backend.broadcast`` (context pickling/base loads),
+                        ``backend.advance`` (warm-pool delta publication)
+``evaluate``            ``round.search`` minus its ship/plan/merge children
 ``merge``               ``backend.merge`` (worker outcome + counter merge)
 ``materialize``         ``round.materialize`` (winning database build)
 ``present``             ``round.present`` (feedback-round construction)
@@ -39,11 +41,14 @@ PHASES = ("prepare", "ship", "evaluate", "merge", "materialize", "present", "oth
 
 _PHASE_OF_SPAN = {
     "round.prepare": "prepare",
+    "backend.plan": "prepare",
     "backend.broadcast": "ship",
+    "backend.advance": "ship",
     "backend.merge": "merge",
     "round.materialize": "materialize",
     "round.present": "present",
 }
+
 
 
 def load_spans(source) -> list[dict]:
@@ -86,24 +91,35 @@ def phase_breakdown(source) -> list[dict]:
     rounds = []
     for index, propose in enumerate(proposes, start=1):
         phases = dict.fromkeys(PHASES, 0.0)
+        descendants = list(_descendants(propose, children))
+        # Spans nested under the round's search span(s) need separating from
+        # top-level ones: the search wall-clock covers its broadcast/merge
+        # children (and, on a round-planning backend, the remote-prologue
+        # ``backend.plan``), so pure evaluation is what remains of the
+        # search after subtracting its *own* mapped descendants — never a
+        # same-phase span that ran outside it.
         search_total = 0.0
-        for node in _descendants(propose, children):
-            phase = _PHASE_OF_SPAN.get(node["name"])
-            if phase is not None:
-                phases[phase] += node["duration_s"]
-            elif node["name"] == "round.search":
+        under_search: set[int] = set()
+        for node in descendants:
+            if node["name"] == "round.search":
                 search_total += node["duration_s"]
-        # The search wall-clock covers broadcast and merge (they nest inside
-        # it); pure evaluation is what remains of it.
-        phases["evaluate"] = max(0.0, search_total - phases["ship"] - phases["merge"])
+                under_search.update(
+                    child["span_id"] for child in _descendants(node, children)
+                )
+        search_children = 0.0
+        top_mapped = 0.0
+        for node in descendants:
+            phase = _PHASE_OF_SPAN.get(node["name"])
+            if phase is None:
+                continue
+            phases[phase] += node["duration_s"]
+            if node["span_id"] in under_search:
+                search_children += node["duration_s"]
+            else:
+                top_mapped += node["duration_s"]
+        phases["evaluate"] = max(0.0, search_total - search_children)
         total = propose["duration_s"]
-        accounted = (
-            phases["prepare"]
-            + search_total
-            + phases["materialize"]
-            + phases["present"]
-        )
-        phases["other"] = max(0.0, total - accounted)
+        phases["other"] = max(0.0, total - search_total - top_mapped)
         rounds.append(
             {
                 "round": index,

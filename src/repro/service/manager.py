@@ -26,10 +26,15 @@ is where interactive sessions spend almost all of their time.
 Known trade-off of the one-pool design: a pooled backend binds its worker
 processes to one broadcast base snapshot, so traffic that *interleaves
 rounds across different pairs* re-seeds the pool on every pair switch
-(correct, but it pays pool startup per switch). Deployments serving several
-heavy workloads concurrently should run one manager — one pool — per
-workload family; within a pair the broadcast happens once, which is the
-common interactive case this layer optimizes for.
+(correct, but it pays pool startup per switch). The ``warm`` backend
+softens this: its workers are persistent and versioned, so a pair switch
+re-installs base state lazily inside live workers (one snapshot ship, no
+pool teardown), repeated rounds on one pair hit worker-resident plan
+caches, and pair eviction calls ``release_base`` so the pool never pins a
+dead database. Deployments serving several heavy workloads concurrently
+should still prefer one manager — one pool — per workload family; within a
+pair the install happens once, which is the common interactive case this
+layer optimizes for.
 
 Persistence: with a :class:`~repro.service.store.SessionStore` attached, the
 manager checkpoints a session after every state change, evicts
@@ -279,9 +284,15 @@ class SessionManager:
         def drop(key: tuple) -> None:
             # The shared snapshot cache strongly references the pair's base
             # database (the snapshot is the broadcast payload); evict its
-            # entry too or the pair's whole database would stay pinned.
+            # entry too or the pair's whole database would stay pinned. A
+            # warm pool additionally pins the installed base through its
+            # snapshot reference — tell it to forget (resident workers
+            # upgrade lazily on the next round over a different pair).
             pair = self._pairs.pop(key)
             self._snapshot_cache.evict(pair.database)
+            release = getattr(self.backend, "release_base", None)
+            if release is not None:
+                release(pair.database)
 
         for key in unreferenced:
             if key[0] == "inline":

@@ -66,6 +66,25 @@ def test_fast_guard_serial_vs_two_worker_pool_bit_identity():
     assert pooled == serial
 
 
+def test_fast_guard_serial_vs_warm_pool_bit_identity():
+    """The warm-pool fast guard: mixed@0.05, serial vs a 2-worker warm pool.
+
+    Two back-to-back sessions on one persistent pool: the first installs the
+    base and plans every round cold, the second hits worker-resident plan
+    caches — both must reproduce the serial transcript byte for byte.
+    """
+    from repro.core.worker_runtime import WarmProcessPoolBackend
+
+    generated, result, candidates = _setup("mixed", 0.05)
+    serial = _transcript(generated, result, candidates, workers=0)
+    backend = WarmProcessPoolBackend(2)
+    try:
+        assert _transcript(generated, result, candidates, backend=backend) == serial
+        assert _transcript(generated, result, candidates, backend=backend) == serial
+    finally:
+        backend.close()
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 def test_catalog_sweep_pins_serial_vs_pooled_identity(name):

@@ -201,7 +201,7 @@ class TestBackendFactory:
         with pytest.raises(ValueError):
             backend_name("SQLite")
         assert backend_name(" SQL ") == "sql"
-        assert set(BACKEND_CHOICES) == {"auto", "serial", "process", "sql"}
+        assert set(BACKEND_CHOICES) == {"auto", "serial", "process", "sql", "warm"}
 
     def test_config_validates_backend_at_construction(self):
         assert QFEConfig(backend="sql").backend == "sql"
